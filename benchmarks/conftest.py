@@ -1,0 +1,39 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table/figure of the paper at the harness
+measurement window, prints it (run with ``-s`` to see the tables
+inline), and writes it to ``benchmarks/results/``.  All benchmarks in
+one session share the runner's measurement cache, so figures that read
+the same configuration (e.g. Figures 1, 2, and 7) simulate it once.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.runner import RunConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The harness window: large enough for stable steady-state counters.
+HARNESS = RunConfig(window_uops=80_000, warm_uops=30_000)
+
+
+@pytest.fixture(scope="session")
+def harness_config() -> RunConfig:
+    return HARNESS
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: pathlib.Path, name: str, table) -> None:
+    text = table.to_text()
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,92 @@
+"""Ablations: the design changes §4's Implications argue for."""
+
+from benchmarks.conftest import emit
+from repro.core.experiments import ablations
+
+
+def test_narrow_cores_beat_smt_for_scale_out(benchmark, harness_config,
+                                             results_dir):
+    table = benchmark.pedantic(
+        ablations.narrow_cores, args=(harness_config.scaled(0.75),),
+        rounds=1, iterations=1,
+    )
+    emit(results_dir, "ablation_narrow_cores", table)
+    # §4.2: two 2-wide cores achieve higher aggregate performance than
+    # one 4-wide SMT core for scale-out workloads.
+    # Aggregate throughput of the two small cores matches or beats the
+    # big SMT core for most of the scale-out workloads, at far less area.
+    competitive = [
+        row for row in table.rows
+        if float(row["2x 2-wide IPC"]) > 0.92 * float(row["4-wide SMT IPC"])
+    ]
+    assert len(competitive) >= 2, table.to_text()
+
+
+def test_window_size_matters_little_for_scale_out(benchmark, harness_config,
+                                                  results_dir):
+    table = benchmark.pedantic(
+        ablations.window_size, args=(harness_config.scaled(0.75),),
+        rounds=1, iterations=1,
+    )
+    emit(results_dir, "ablation_window_size", table)
+    gain = {row["Workload"]: float(row["128-entry gain over 32"])
+            for row in table.rows}
+    # Scale-out workloads derive little benefit from a 4x larger window...
+    assert gain["data-serving"] < 0.3
+    # ...while the cpu-intensive contrast benefits far more than either
+    # server-class workload.
+    assert gain["parsec-cpu"] > gain["data-serving"] + 0.3
+    assert gain["parsec-cpu"] > gain["tpc-c"]
+
+
+def test_smaller_faster_llc_helps_scale_out(benchmark, harness_config,
+                                            results_dir):
+    table = benchmark.pedantic(
+        ablations.llc_latency, args=(harness_config.scaled(0.75),),
+        rounds=1, iterations=1,
+    )
+    emit(results_dir, "ablation_llc_latency", table)
+    speedup = {row["Workload"]: float(row["Speedup"]) for row in table.rows}
+    # Scale-out workloads tolerate (or enjoy) the smaller, faster LLC.
+    assert speedup["web-search"] > 0.9
+    assert speedup["media-streaming"] > 0.9
+    # mcf, whose working set the big LLC captured, pays for the cut.
+    assert speedup["specint-mcf"] < min(speedup["web-search"],
+                                        speedup["media-streaming"])
+
+
+def test_instruction_fetch_provisioning(benchmark, harness_config,
+                                        results_dir):
+    table = benchmark.pedantic(
+        ablations.instruction_fetch, args=(harness_config.scaled(0.75),),
+        rounds=1, iterations=1,
+    )
+    emit(results_dir, "ablation_instruction_fetch", table)
+    reduction = {row["Workload"]: float(row["Miss reduction 32->128"])
+                 for row in table.rows}
+    # Growing the L1-I 4x removes a large share of scale-out frontend
+    # misses (§4.1: the working set is an order of magnitude too big)...
+    assert reduction["data-serving"] > 0.3
+    assert reduction["media-streaming"] > 0.3
+    # ...and does nothing for desktop code that already fits.
+    assert abs(reduction["parsec-cpu"]) < 0.05
+
+
+def test_core_aggressiveness_sweet_spot(benchmark, harness_config,
+                                        results_dir):
+    table = benchmark.pedantic(
+        ablations.core_aggressiveness, args=(harness_config.scaled(0.6),),
+        rounds=1, iterations=1,
+    )
+    emit(results_dir, "ablation_core_aggressiveness", table)
+    rows = {row["Workload"]: row for row in table.rows}
+    # In-order cores "cannot leverage the available ILP and MLP" — even
+    # scale-out workloads want *some* out-of-order execution (§4.2).
+    for name in ("data-serving", "web-search"):
+        assert float(rows[name]["OoO gain"]) > 1.15, name
+    # The step from modest to aggressive OoO pays off far more for
+    # cpu-intensive desktop code than for scale-out workloads.
+    assert (float(rows["parsec-cpu"]["Aggressive gain"])
+            > float(rows["data-serving"]["Aggressive gain"]))
+    assert (float(rows["parsec-cpu"]["Aggressive gain"])
+            > float(rows["web-search"]["Aggressive gain"]))

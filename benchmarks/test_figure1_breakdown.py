@@ -1,0 +1,34 @@
+"""Figure 1: execution-time breakdown and memory cycles."""
+
+from benchmarks.conftest import emit
+from repro.core.experiments import figure1
+
+
+def test_figure1_breakdown(benchmark, harness_config, results_dir):
+    table = benchmark.pedantic(
+        figure1.run, args=(harness_config,), rounds=1, iterations=1
+    )
+    emit(results_dir, "figure1", table)
+
+    scale_out = [row for row in table.rows if row["Group"] == "scale-out"]
+    assert len(scale_out) == 6
+
+    # Scale-out workloads stall for most of their execution time...
+    for row in scale_out:
+        stalled = figure1.stalled_fraction(table, row["Workload"])
+        assert stalled > 0.5, row["Workload"]
+
+    # ...mostly on memory (the overlapped Memory bar tracks the stalls).
+    # Web Frontend (interpreter frontend stalls) and SAT Solver (compute)
+    # are the two softer cases, as in the paper's Figure 1.
+    memory_heavy = [row for row in scale_out
+                    if row["Memory"] > 0.5 * figure1.stalled_fraction(
+                        table, row["Workload"])]
+    assert len(memory_heavy) >= 4
+
+    # cpu-intensive desktop/parallel benchmarks stall far less.
+    for name in ("PARSEC (cpu)", "SPECint (cpu)"):
+        assert figure1.stalled_fraction(table, name) < 0.6, name
+
+    # TPC-C spends over 80% of its time stalled (§4).
+    assert figure1.stalled_fraction(table, "TPC-C") > 0.8

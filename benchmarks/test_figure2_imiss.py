@@ -1,0 +1,34 @@
+"""Figure 2: L1-I and L2 instruction misses per kilo-instruction."""
+
+from benchmarks.conftest import emit
+from repro.core.experiments import figure2
+
+
+def test_figure2_instruction_misses(benchmark, harness_config, results_dir):
+    table = benchmark.pedantic(
+        figure2.run, args=(harness_config,), rounds=1, iterations=1
+    )
+    emit(results_dir, "figure2", table)
+
+    def l1i(name):
+        return figure2.total_l1i_mpki(table, name)
+
+    # Scale-out instruction working sets exceed the L1-I by an order of
+    # magnitude compared to desktop/parallel benchmarks.
+    desktop_max = max(l1i("PARSEC (cpu)"), l1i("SPECint (cpu)"),
+                      l1i("PARSEC (mem)"), l1i("SPECint (mem)"))
+    for name in ("Data Serving", "Media Streaming", "Web Search"):
+        assert l1i(name) > 10 * max(desktop_max, 0.3), name
+
+    # Traditional server workloads resemble scale-out.
+    assert l1i("TPC-C") > 20
+    assert l1i("SPECweb09") > 20
+
+    # The OS instruction working set of scale-out workloads is smaller
+    # than traditional server workloads' (§4.1).
+    specweb_os = float(table.row_for("Workload", "SPECweb09")["L1-I (OS)"])
+    scale_out_os = max(
+        float(table.row_for("Workload", name)["L1-I (OS)"])
+        for name in ("Data Serving", "Media Streaming", "Web Search")
+    )
+    assert specweb_os > scale_out_os * 0.9

@@ -1,0 +1,49 @@
+"""Figure 3: application IPC and MLP, baseline vs SMT."""
+
+from benchmarks.conftest import emit
+from repro.core.experiments import figure3
+from repro.core.workloads import SCALE_OUT
+
+
+def test_figure3_ipc_mlp(benchmark, harness_config, results_dir):
+    table = benchmark.pedantic(
+        figure3.run, args=(harness_config,), rounds=1, iterations=1
+    )
+    emit(results_dir, "figure3", table)
+
+    scale_out_names = [spec.display_name for spec in SCALE_OUT]
+
+    # Scale-out IPC is modest despite the 4-wide core.
+    for name in scale_out_names:
+        ipc = float(table.row_for("Workload", name)["IPC"])
+        assert 0.15 < ipc < 1.3, name
+
+    # Some cpu-intensive desktop/parallel benchmarks use wide cores well.
+    cpu_max = max(
+        float(table.row_for("Workload", n)["IPC max"])
+        for n in ("PARSEC (cpu)", "SPECint (cpu)")
+    )
+    assert cpu_max > 1.5
+
+    # Scale-out MLP sits in a low band; Web Frontend is the lowest.
+    mlps = {n: float(table.row_for("Workload", n)["MLP"])
+            for n in scale_out_names}
+    assert all(mlp < 4.0 for mlp in mlps.values())
+    assert min(mlps, key=mlps.get) == "Web Frontend"
+
+    # Desktop/parallel range bars reach far higher MLP.
+    assert max(
+        float(table.row_for("Workload", n)["MLP max"])
+        for n in ("PARSEC (mem)", "SPECint (mem)")
+    ) > 3.5
+
+    # SMT improves scale-out IPC substantially (paper: 39-69 %).
+    for name in scale_out_names:
+        gain = figure3.smt_ipc_gain(table, name)
+        assert gain > 0.3, (name, gain)
+
+    # SMT increases exploited MLP (direction always; magnitude varies
+    # with how dependence-starved the single thread already is).
+    for name in ("Media Streaming", "MapReduce", "Data Serving"):
+        row = table.row_for("Workload", name)
+        assert float(row["MLP (SMT)"]) > 1.1 * float(row["MLP"]), name

@@ -1,0 +1,35 @@
+"""Figure 4: performance sensitivity to LLC capacity."""
+
+from benchmarks.conftest import emit
+from repro.core.experiments import figure4
+
+
+def test_figure4_llc_sensitivity(benchmark, harness_config, results_dir):
+    config = harness_config.scaled(0.6)  # 10 configurations per curve
+    table = benchmark.pedantic(
+        figure4.run, args=(config,), rounds=1, iterations=1
+    )
+    emit(results_dir, "figure4", table)
+
+    sizes = table.column("Cache size (MB)")
+    scale_out = [float(v) for v in table.column("Scale-out")]
+    server = [float(v) for v in table.column("Server")]
+    mcf = [float(v) for v in table.column("SPECint (mcf)")]
+
+    at = dict(zip(sizes, zip(scale_out, server, mcf)))
+
+    # Scale-out and server workloads show minimal sensitivity above
+    # 4-6 MB: within ~10 % of the 12 MB baseline from 6 MB up.
+    for size in (6, 8, 10, 11):
+        so, sv, _ = at[size]
+        assert so > 0.88, (size, so)
+        assert sv > 0.9, (size, sv)
+
+    # mcf keeps improving with every megabyte (§4.3's contrast case);
+    # allow per-point measurement wobble of a couple of percent.
+    for previous, current in zip(mcf, mcf[1:]):
+        assert current > previous - 0.03, "mcf must trend upward"
+    mcf_span = mcf[-1] / mcf[0]
+    scale_out_span_above_6 = at[11][0] / at[6][0]
+    assert mcf_span > 1.12
+    assert mcf_span > scale_out_span_above_6 + 0.05

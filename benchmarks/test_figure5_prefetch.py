@@ -1,0 +1,34 @@
+"""Figure 5: L2 hit ratios with prefetchers enabled/disabled."""
+
+from benchmarks.conftest import emit
+from repro.core.experiments import figure5
+
+
+def test_figure5_prefetchers(benchmark, harness_config, results_dir):
+    table = benchmark.pedantic(
+        figure5.run, args=(harness_config,), rounds=1, iterations=1
+    )
+    emit(results_dir, "figure5", table)
+
+    # Desktop/parallel benchmarks degrade noticeably when the HW
+    # (stream) prefetcher is disabled.
+    for name in ("PARSEC (cpu)", "PARSEC (mem)", "SPECint (mem)"):
+        row = table.row_for("Workload", name)
+        baseline = float(row["Baseline (all enabled)"])
+        disabled = float(row["HW prefetcher (disabled)"])
+        assert baseline - disabled > 0.1, name
+
+    # MapReduce is the one scale-out workload that clearly benefits.
+    assert figure5.prefetcher_benefit(table, "MapReduce") > 0.04
+
+    # The other scale-out workloads see only small changes (within a few
+    # points of hit ratio either way).
+    for name in ("Data Serving", "Web Search", "SAT Solver"):
+        benefit = figure5.prefetcher_benefit(table, name)
+        assert abs(benefit) < 0.12, (name, benefit)
+
+    # All ratios are physical.
+    for row in table.rows:
+        for col in ("Baseline (all enabled)", "Adjacent-line (disabled)",
+                    "HW prefetcher (disabled)"):
+            assert 0.0 <= float(row[col]) <= 1.0

@@ -1,0 +1,33 @@
+"""Figure 6: read-write sharing (remote-dirty LLC references)."""
+
+from benchmarks.conftest import emit
+from repro.core.experiments import figure6
+
+
+def test_figure6_sharing(benchmark, harness_config, results_dir):
+    config = harness_config.scaled(1.5)  # sharing needs a longer window
+    table = benchmark.pedantic(
+        figure6.run, args=(config,), rounds=1, iterations=1
+    )
+    emit(results_dir, "figure6", table)
+
+    def total(name):
+        return figure6.total_sharing(table, name)
+
+    # Traditional OLTP shares actively; the most sharing-intensive OLTP
+    # workload clearly exceeds every scale-out workload's app sharing.
+    oltp_max = max(total(n) for n in ("TPC-C", "TPC-E", "Web Backend"))
+    assert oltp_max > 0.03
+
+    # Scale-out workloads show limited read-write sharing.
+    for name in ("MapReduce", "SAT Solver", "Web Search", "Web Frontend"):
+        assert total(name) < 0.04, name
+
+    # One-process-per-core benchmarks share nothing.
+    for name in ("PARSEC (cpu)", "SPECint (cpu)"):
+        assert total(name) < 0.005, name
+
+    # Where scale-out OS sharing exists it comes from the network stack;
+    # SPECweb09's OS component dominates its (small) sharing.
+    specweb = table.row_for("Workload", "SPECweb09")
+    assert float(specweb["OS"]) >= float(specweb["Application"])

@@ -1,0 +1,31 @@
+"""Figure 7: off-chip memory bandwidth utilization."""
+
+from benchmarks.conftest import emit
+from repro.core.experiments import figure7
+from repro.core.workloads import SCALE_OUT
+
+
+def test_figure7_bandwidth(benchmark, harness_config, results_dir):
+    table = benchmark.pedantic(
+        figure7.run, args=(harness_config,), rounds=1, iterations=1
+    )
+    emit(results_dir, "figure7", table)
+
+    scale_out_names = [spec.display_name for spec in SCALE_OUT]
+    utils = {name: figure7.total_utilization(table, name)
+             for name in scale_out_names}
+
+    # Scale-out workloads use a small fraction of the available per-core
+    # bandwidth; Media Streaming is the heaviest, around 15 % (§4.4).
+    assert max(utils, key=utils.get) == "Media Streaming"
+    assert utils["Media Streaming"] < 0.25
+    for name, util in utils.items():
+        if name != "Media Streaming":
+            assert util < 0.18, (name, util)
+
+    # Web Frontend barely touches memory bandwidth.
+    assert utils["Web Frontend"] < 0.05
+
+    # cpu-intensive desktop/parallel benchmarks are compute-bound.
+    for name in ("PARSEC (cpu)", "SPECint (cpu)"):
+        assert figure7.total_utilization(table, name) < 0.05, name

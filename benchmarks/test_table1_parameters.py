@@ -1,0 +1,16 @@
+"""Table 1: architectural parameters (echo + simulator self-check)."""
+
+from benchmarks.conftest import emit
+from repro.core.experiments import table1
+
+
+def test_table1_parameters(benchmark, harness_config, results_dir):
+    table = benchmark.pedantic(
+        table1.run, args=(harness_config,), rounds=1, iterations=1
+    )
+    emit(results_dir, "table1", table)
+    values = {row["Parameter"]: row["Value"] for row in table.rows}
+    assert values["Core width"] == "4-wide issue and retire"
+    assert values["Reorder buffer"] == "128 entries"
+    assert "12MB" in values["LLC (L3 cache)"]
+    assert any("self-check passed" in note for note in table.notes)

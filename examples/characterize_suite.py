@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Characterize the whole suite: a compact version of the paper's §4.
+
+Runs every workload (scale-out on the left, traditional on the right,
+like the paper's figures) and prints one row per workload with the
+headline metrics from Figures 1, 2, 3, and 7.
+
+Usage:
+    python examples/characterize_suite.py [window_uops]
+"""
+
+import sys
+
+from repro import RunConfig, analysis, compute_breakdown
+from repro.core.runner import metric_mean, run_workload_members
+from repro.core.workloads import ALL_WORKLOADS
+
+
+def main() -> None:
+    window = int(sys.argv[1]) if len(sys.argv) > 1 else 80_000
+    config = RunConfig(window_uops=window, warm_uops=window // 3)
+    header = (f"{'workload':<17}{'group':<11}{'IPC':>6}{'MLP':>6}"
+              f"{'stall%':>8}{'mem%':>7}{'os%':>6}{'L1I':>7}{'L2I':>6}"
+              f"{'bw%':>6}")
+    print(header)
+    print("-" * len(header))
+    previous_group_is_scale_out = True
+    for spec in ALL_WORKLOADS:
+        if previous_group_is_scale_out and spec.group != "scale-out":
+            print("-" * len(header))  # the figures' left/right divider
+            previous_group_is_scale_out = False
+        runs = run_workload_members(spec.name, config)
+        breakdowns = [compute_breakdown(r.result) for r in runs]
+        stalled = sum(b.stalled for b in breakdowns) / len(breakdowns)
+        memory = sum(b.memory for b in breakdowns) / len(breakdowns)
+        bw = sum(r.bandwidth_utilization() for r in runs) / len(runs)
+        print(
+            f"{spec.display_name:<17}{spec.group:<11}"
+            f"{metric_mean(runs, analysis.ipc):>6.2f}"
+            f"{metric_mean(runs, analysis.mlp):>6.2f}"
+            f"{stalled:>8.0%}{memory:>7.0%}"
+            f"{metric_mean(runs, analysis.os_instruction_fraction):>6.0%}"
+            f"{metric_mean(runs, analysis.instruction_mpki):>7.1f}"
+            f"{metric_mean(runs, lambda r: analysis.instruction_mpki(r, 'l2')):>6.1f}"
+            f"{bw:>6.1%}"
+        )
+    print()
+    print("stall%/mem% per Figure 1; L1I/L2I are misses per k-instruction "
+          "(Figure 2); bw% is the per-core share of off-chip bandwidth "
+          "(Figure 7).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's entire evaluation as one markdown report.
+
+Runs Table 1, Figures 1-7, the §4-implications ablations, and the
+claims-as-code verification, and writes everything to a single markdown
+file (default: ``report.md``).
+
+Usage:
+    python examples/full_report.py [output.md] [window_uops]
+
+At the default 60k window this takes several minutes — it is the whole
+evaluation.  Pass a smaller window (e.g. 20000) for a quick draft.
+"""
+
+import sys
+import time
+
+from repro import RunConfig
+from repro.core.experiments import ALL_EXPERIMENTS, ablations
+from repro.core.paper import verify
+
+
+def main() -> None:
+    output = sys.argv[1] if len(sys.argv) > 1 else "report.md"
+    window = int(sys.argv[2]) if len(sys.argv) > 2 else 60_000
+    config = RunConfig(window_uops=window, warm_uops=window // 3)
+
+    sections = ["# Clearing the Clouds — regenerated evaluation", ""]
+    sections.append(f"*window: {window:,} micro-ops per measurement*")
+    sections.append("")
+
+    started = time.time()
+    for name, module in ALL_EXPERIMENTS.items():
+        print(f"[{time.time() - started:6.0f}s] {name} ...")
+        sections.append(module.run(config).to_markdown())
+        sections.append("")
+
+    for experiment in (ablations.narrow_cores, ablations.window_size,
+                       ablations.llc_latency, ablations.instruction_fetch,
+                       ablations.core_aggressiveness):
+        print(f"[{time.time() - started:6.0f}s] {experiment.__name__} ...")
+        sections.append(experiment(config).to_markdown())
+        sections.append("")
+
+    print(f"[{time.time() - started:6.0f}s] verification ...")
+    sections.append(verify(config).to_markdown())
+    sections.append("")
+
+    with open(output, "w") as handle:
+        handle.write("\n".join(sections))
+    print(f"wrote {output} in {time.time() - started:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

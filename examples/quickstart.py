@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: characterize one workload on the simulated server.
+
+Builds the Data Serving workload (a Cassandra-like store under YCSB
+load), warms the memory hierarchy to steady state, runs a measurement
+window on the simulated Xeon X5670-class core, and prints the counters
+the paper reads: IPC, MLP, the execution-time breakdown, instruction
+miss rates, and bandwidth utilization.
+
+Usage:
+    python examples/quickstart.py [workload] [window_uops]
+
+    workload     one of `repro.workload_names()` (default: data-serving)
+    window_uops  measurement window size (default: 100000)
+"""
+
+import sys
+
+from repro import RunConfig, analysis, compute_breakdown, run_workload, workload_names
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "data-serving"
+    window = int(sys.argv[2]) if len(sys.argv) > 2 else 100_000
+    known = workload_names(include_mcf=True)
+    if workload not in known:
+        print(f"unknown workload {workload!r}; choose one of:")
+        for name in known:
+            print(f"  {name}")
+        raise SystemExit(1)
+
+    print(f"Running {workload} for a {window:,}-micro-op window "
+          f"(plus functional warmup)...")
+    config = RunConfig(window_uops=window, warm_uops=window // 3)
+    run = run_workload(workload, config)
+    r = run.result
+
+    breakdown = compute_breakdown(r)
+    print()
+    print(f"== {workload} ==")
+    print(f"instructions retired   {r.instructions:>12,}")
+    print(f"cycles                 {r.cycles:>12,}")
+    print(f"IPC (max 4)            {analysis.ipc(r):>12.2f}")
+    print(f"application IPC        {analysis.application_ipc(r):>12.2f}")
+    print(f"MLP                    {analysis.mlp(r):>12.2f}")
+    print()
+    print("execution-time breakdown (Figure 1 methodology):")
+    print(f"  committing (app)     {breakdown.committing_app:>11.1%}")
+    print(f"  committing (OS)      {breakdown.committing_os:>11.1%}")
+    print(f"  stalled (app)        {breakdown.stalled_app:>11.1%}")
+    print(f"  stalled (OS)         {breakdown.stalled_os:>11.1%}")
+    print(f"  memory cycles        {breakdown.memory:>11.1%}   (overlapped)")
+    print()
+    print("instruction-fetch path (Figure 2):")
+    print(f"  L1-I misses/k-instr  {analysis.instruction_mpki(r):>12.1f}")
+    print(f"  L2-I misses/k-instr  {analysis.instruction_mpki(r, 'l2'):>12.1f}")
+    print()
+    print("memory system:")
+    print(f"  L2 demand hit ratio  {analysis.l2_hit_ratio(r):>12.2f}")
+    print(f"  off-chip bandwidth   {run.bandwidth_utilization():>11.1%} "
+          "of the per-core share")
+    print(f"  OS share of traffic  {run.os_bandwidth_fraction():>11.1%}")
+    print()
+    print(f"branch mispredict rate {analysis.branch_mispredict_rate(r):>11.1%}")
+    print(f"OS instruction share   {analysis.os_instruction_fraction(r):>11.1%}")
+
+
+if __name__ == "__main__":
+    main()

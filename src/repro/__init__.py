@@ -1,0 +1,75 @@
+"""repro — a reproduction of *Clearing the Clouds* (ASPLOS 2012).
+
+The package rebuilds the paper's entire experimental apparatus in
+Python:
+
+* :mod:`repro.uarch` — a cycle-approximate simulator of the Xeon
+  X5670-class server processor of Table 1, exposing the performance-
+  counter surface the paper reads through VTune;
+* :mod:`repro.machine` — the traced abstract machine (simulated address
+  space, code layout, OS kernel) the workloads execute on;
+* :mod:`repro.apps` — functional mini-implementations of all fourteen
+  workloads: the six CloudSuite scale-out workloads of §3.2 and the
+  traditional benchmarks of §3.3;
+* :mod:`repro.load` — YCSB/Faban-style client drivers;
+* :mod:`repro.core` — the characterization methodology: workload
+  registry, measurement runner, analyses, and one experiment module per
+  table/figure of the evaluation.
+
+Quickstart::
+
+    from repro import run_workload, RunConfig, analysis
+
+    run = run_workload("data-serving", RunConfig(window_uops=50_000))
+    print(analysis.ipc(run.result), analysis.instruction_mpki(run.result))
+
+Reproduce a figure::
+
+    from repro.core.experiments import figure1
+    print(figure1.run().to_text())
+"""
+
+from repro.core import analysis
+from repro.core.breakdown import ExecutionBreakdown, compute_breakdown
+from repro.core.runner import (
+    RunConfig,
+    WorkloadRun,
+    run_workload,
+    run_workload_chip,
+    run_workload_members,
+    run_workload_smt,
+)
+from repro.core.workloads import (
+    ALL_WORKLOADS,
+    REGISTRY,
+    SCALE_OUT,
+    TRADITIONAL,
+    build_app,
+    workload_names,
+)
+from repro.uarch import Chip, Core, MachineParams, MemoryHierarchy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "ExecutionBreakdown",
+    "compute_breakdown",
+    "RunConfig",
+    "WorkloadRun",
+    "run_workload",
+    "run_workload_chip",
+    "run_workload_members",
+    "run_workload_smt",
+    "ALL_WORKLOADS",
+    "REGISTRY",
+    "SCALE_OUT",
+    "TRADITIONAL",
+    "build_app",
+    "workload_names",
+    "Chip",
+    "Core",
+    "MachineParams",
+    "MemoryHierarchy",
+    "__version__",
+]

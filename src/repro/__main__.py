@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+    list                      list the registered workloads
+    run <workload> [N]        characterize one workload (N window micro-ops)
+    trace <workload> [N]      dump N micro-ops of a workload's trace
+    table1                    print Table 1
+    figure1 .. figure7        regenerate one figure's table
+    ablations                 run the §4-implications ablations
+    verify                    check every paper claim against fresh runs
+    all                       regenerate every table and figure
+
+Options:
+
+    --window N    measurement window in micro-ops   (default 80000)
+    --warm N      functional-warming replay budget  (default window/3)
+    --bars        render figures as ASCII bar charts instead of tables
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.runner import RunConfig
+
+
+def _parse_config(args: list[str]) -> tuple[list[str], RunConfig, bool]:
+    window = 80_000
+    warm = None
+    bars = False
+    rest: list[str] = []
+    it = iter(args)
+    for arg in it:
+        if arg == "--window":
+            window = int(next(it))
+        elif arg == "--warm":
+            warm = int(next(it))
+        elif arg == "--bars":
+            bars = True
+        else:
+            rest.append(arg)
+    config = RunConfig(window_uops=window,
+                       warm_uops=warm if warm is not None else window // 3)
+    return rest, config, bars
+
+
+def _run_figure(name: str, config: RunConfig, bars: bool = False) -> None:
+    from repro.core.experiments import ALL_EXPERIMENTS
+
+    module = ALL_EXPERIMENTS[name]
+    table = module.run(config)
+    if bars and name != "table1":
+        label = table.columns[0]
+        numeric = [c for c in table.columns[1:]
+                   if all(isinstance(r.get(c), (int, float))
+                          for r in table.rows)]
+        print(table.to_bars(label, numeric[:2]))
+    else:
+        print(table.to_text())
+
+
+def _run_workload_command(args: list[str], config: RunConfig) -> None:
+    from repro.core import analysis
+    from repro.core.breakdown import compute_breakdown
+    from repro.core.runner import run_workload
+
+    if not args:
+        print("usage: python -m repro run <workload> [--window N]")
+        raise SystemExit(2)
+    run = run_workload(args[0], config)
+    r = run.result
+    b = compute_breakdown(r)
+    print(f"{args[0]}: IPC={analysis.ipc(r):.2f} MLP={r.mlp:.2f} "
+          f"stalled={b.stalled:.0%} memory={b.memory:.0%} "
+          f"L1I-MPKI={analysis.instruction_mpki(r):.1f} "
+          f"bw={run.bandwidth_utilization():.1%}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: dispatch a CLI command; returns the exit status."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    args, config, bars = _parse_config(argv)
+    if not args or args[0] in ("-h", "--help", "help"):
+        print(__doc__)
+        return 0
+    command = args[0]
+    if command == "list":
+        from repro.core.workloads import REGISTRY
+
+        try:
+            for name, spec in sorted(REGISTRY.items()):
+                print(f"{name:<18} {spec.group:<10} {spec.display_name}")
+        except BrokenPipeError:  # piped into head etc.
+            pass
+        return 0
+    if command == "run":
+        _run_workload_command(args[1:], config)
+        return 0
+    if command == "trace":
+        from repro.tools import dump_trace
+
+        if len(args) < 2:
+            print("usage: python -m repro trace <workload> [N]")
+            return 2
+        count = int(args[2]) if len(args) > 2 else 200
+        text, _summary = dump_trace(args[1], count)
+        try:
+            print(text, end="")
+        except BrokenPipeError:
+            pass
+        return 0
+    if command == "verify":
+        from repro.core.paper import verify
+
+        report = verify(config)
+        print(report.to_text())
+        return 0 if all(row["OK"] == "yes" for row in report.rows) else 1
+    if command == "ablations":
+        from repro.core.experiments import ablations
+
+        for experiment in (ablations.narrow_cores, ablations.window_size,
+                           ablations.llc_latency):
+            print(experiment(config).to_text())
+            print()
+        return 0
+    if command == "all":
+        from repro.core.experiments import ALL_EXPERIMENTS
+
+        for name in ALL_EXPERIMENTS:
+            _run_figure(name, config, bars)
+            print()
+        return 0
+    from repro.core.experiments import ALL_EXPERIMENTS
+
+    if command in ALL_EXPERIMENTS:
+        _run_figure(command, config, bars)
+        return 0
+    print(f"unknown command {command!r}; try `python -m repro help`")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""Mini server applications — the workload substrates.
+
+Each subpackage implements a functional, scaled-down equivalent of one
+of the paper's workloads (§3.2 scale-out, §3.3 traditional), written
+against the traced abstract machine so that executing the application
+produces the micro-op stream the simulated processor runs.
+
+Scale-out (CloudSuite):
+    kvstore      Data Serving    (Cassandra + YCSB)
+    mapreduce    MapReduce       (Hadoop + Mahout Bayes classification)
+    streaming    Media Streaming (Darwin Streaming Server + Faban)
+    satsolver    SAT Solver      (Klee / Cloud9)
+    webstack     Web Frontend    (Nginx + PHP Olio)
+    websearch    Web Search      (Nutch/Lucene index serving node)
+
+Traditional:
+    oltp         TPC-C and TPC-E on a B+-tree storage engine
+    webbackend   Web Backend     (MySQL behind the Web Frontend)
+    specweb      SPECweb09       (e-banking, static-file dominated)
+    synth        PARSEC / SPEC CINT2006 cpu- and memory-intensive proxies
+"""
+
+from repro.apps.base import ServerApp
+
+__all__ = ["ServerApp"]

@@ -1,0 +1,116 @@
+"""Common application scaffolding.
+
+A :class:`ServerApp` owns one simulated address space, code layout, and
+OS kernel, builds its dataset at construction time, and serves work
+quanta on demand.  Multi-threaded apps share the instance across
+hardware threads — each thread gets its own :class:`Runtime` (its own
+PC stream and sequence numbers) but operates on the shared dataset,
+which is what produces genuine read-write sharing (Figure 6).
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+import random
+from typing import Iterator
+
+from repro.machine.address_space import AddressSpace
+from repro.machine.codelayout import CodeLayout
+from repro.machine.os_model import OsKernel
+from repro.machine.runtime import Runtime
+from repro.uarch.uop import MicroOp
+
+
+class ServerApp(abc.ABC):
+    """Base class for all workload applications."""
+
+    #: Registry name, e.g. "data-serving".
+    name: str = "app"
+    #: Whether the workload meaningfully exercises the OS (Fig. 2 OS bars).
+    os_intensive: bool = False
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.space = AddressSpace()
+        self.layout = CodeLayout()
+        self.kernel = OsKernel(self.space, self.layout)
+        self._runtimes: dict[int, Runtime] = {}
+        self._request_counter = itertools.count()
+        self.setup()
+
+    # -- lifecycle ---------------------------------------------------------
+    @abc.abstractmethod
+    def setup(self) -> None:
+        """Build datasets and register code (runs once, untraced)."""
+
+    @abc.abstractmethod
+    def serve(self, rt: Runtime) -> None:
+        """Execute one unit of work (a request, task slice, ...) on ``rt``."""
+
+    # -- runtimes ------------------------------------------------------------
+    def runtime(self, tid: int) -> Runtime:
+        rt = self._runtimes.get(tid)
+        if rt is None:
+            rt = Runtime(self.layout, tid=tid, seed=self.seed)
+            self._runtimes[tid] = rt
+        return rt
+
+    def next_request_id(self) -> int:
+        return next(self._request_counter)
+
+    # -- functional warming -------------------------------------------------
+    def warm_ranges(self) -> list[tuple[int, int]]:
+        """Data ranges (base, nbytes) that are LLC-resident at steady state.
+
+        The measurement windows (≈10⁵ micro-ops) are far too short to
+        reach the steady-state contents of a 12 MB LLC the paper reaches
+        after its ramp-up plus 180 s run, so the runner functionally
+        installs these ranges (plus all code) before measuring — the
+        standard "functional warming" technique of sampled simulation.
+        """
+        return []
+
+    def warm(self, hierarchy, trace_uops: int = 40_000) -> None:
+        """Functionally warm a hierarchy: LLC contents + short replay."""
+        fill = hierarchy.llc.fill
+        for fn in self.layout.functions():
+            for addr in range(fn.base, fn.base + fn.size, 64):
+                fill(addr)
+        for base, nbytes in self.kernel.warm_ranges() + self.warm_ranges():
+            for addr in range(base, base + nbytes, 64):
+                fill(addr)
+        # Short execution replay: orders LRU recency, fills L1/L2/TLBs,
+        # and trains the prefetcher tables, without core timing.
+        last_line = -1
+        access = hierarchy.access
+        for uop in self.trace(0, trace_uops):
+            line = uop.pc >> 6
+            if line != last_line:
+                last_line = line
+                access(uop.pc, False, True, uop.is_os)
+            kind = uop.kind
+            if kind == 1:  # LOAD
+                access(uop.addr, False, False, uop.is_os)
+            elif kind == 2:  # STORE
+                access(uop.addr, True, False, uop.is_os)
+
+    # -- trace production ------------------------------------------------
+    def trace(self, tid: int = 0, budget: int = 100_000) -> Iterator[MicroOp]:
+        """Yield roughly ``budget`` micro-ops of thread ``tid``'s execution."""
+        rt = self.runtime(tid)
+        emitted = 0
+        while emitted < budget:
+            self.serve(rt)
+            buf = rt.take()
+            emitted += len(buf)
+            yield from buf
+
+    def trace_segments(
+        self, tid: int, budget: int, segments: int
+    ) -> list[Iterator[MicroOp]]:
+        """Split a budget into ``segments`` lazily-generated trace chunks
+        (used for round-robin multi-core interleaving)."""
+        per_segment = max(1, budget // segments)
+        return [self.trace(tid, per_segment) for _ in range(segments)]

@@ -1,0 +1,19 @@
+"""Data Serving workload: a Cassandra-like NoSQL store under YCSB load.
+
+Paper setup (§3.2): "We benchmark the Cassandra 0.7.3 database with a
+15GB Yahoo! Cloud Serving Benchmark (YCSB) dataset ... requests
+following a Zipfian distribution with a 95:5 read to write request
+ratio."
+
+This package implements the storage engine (memtable + bloom-filtered
+SSTables with sparse indexes + commit log), the request path (network
+receive, query execution, response serialization), and the managed-
+runtime overheads (JIT-compiled runtime code footprint, young-generation
+garbage collection) that dominate the real system's micro-architectural
+behaviour.
+"""
+
+from repro.apps.kvstore.store import Memtable, SSTable, KeyValueStore
+from repro.apps.kvstore.app import DataServingApp
+
+__all__ = ["Memtable", "SSTable", "KeyValueStore", "DataServingApp"]

@@ -1,0 +1,156 @@
+"""The Data Serving application: request loop, JVM overheads, GC.
+
+Request path per YCSB operation: network receive of the query, thrift
+decode, storage-engine execution, response serialization, network send.
+Managed-runtime behaviour — a large JIT-compiled code footprint and a
+parallel young-generation collector whose marking writes are visible to
+the other server threads — comes on top, as in the real Cassandra
+(§4.4: "Java-based applications exhibit a small degree of sharing from
+the use of a parallel garbage collector").
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import ServerApp
+from repro.apps.kvstore.store import KeyValueStore
+from repro.load.ycsb import YcsbClient
+from repro.machine.runtime import Runtime
+
+_LINE = 64
+
+
+class DataServingApp(ServerApp):
+    """Cassandra-like data store under YCSB load."""
+
+    name = "data-serving"
+    os_intensive = True
+
+    #: Instruction-footprint plan: (function, KB, locality, bb, hot fraction).
+    CODE_PLAN = [
+        ("thrift_decode", 96, "scatter", 7, 0.15),
+        ("query_exec", 128, "scatter", 8, 0.15),
+        ("memtable_code", 96, "scatter", 8, 0.2),
+        ("sstable_reader", 160, "scatter", 8, 0.15),
+        ("bloom_index", 64, "scatter", 9, 0.25),
+        ("serializer", 112, "scatter", 7, 0.15),
+        ("commit_log_code", 64, "scatter", 8, 0.2),
+        ("jvm_runtime", 384, "scatter", 7, 0.1),
+        ("jit_helpers", 192, "scatter", 7, 0.1),
+        ("gc_code", 128, "scatter", 9, 0.2),
+    ]
+
+    def __init__(self, seed: int = 0, record_count: int = 300_000,
+                 record_bytes: int = 256) -> None:
+        self.record_count = record_count
+        self.record_bytes = record_bytes
+        super().__init__(seed)
+
+    def setup(self) -> None:
+        self.fns = {
+            name: self.layout.function(
+                f"cassandra.{name}", kb * 1024, locality=loc,
+                bb_mean=bb, hot_fraction=hot,
+            )
+            for name, kb, loc, bb, hot in self.CODE_PLAN
+        }
+        self.store = KeyValueStore(self.space, self.record_count, self.record_bytes)
+        self.client = YcsbClient(self.record_count, seed=self.seed)
+        # Young generation: each thread allocates here; the parallel GC
+        # scans and marks it, writing lines other threads later touch.
+        self.nursery_bytes = 1 << 20
+        self.nursery = self.space.alloc(self.nursery_bytes, "heap", align=_LINE)
+        self._alloc_cursor = 0
+        self._gc_cursor = 0
+        self.requests_served = 0
+        # Per-connection request/response staging buffers.
+        self._req_buf = self.space.alloc(4096, "heap", align=_LINE)
+        self._resp_buf = self.space.alloc(8192, "heap", align=_LINE)
+
+    def warm_ranges(self):
+        ranges = [(self.nursery, self.nursery_bytes)]
+        for sstable in self.store.sstables:
+            ranges.append((sstable.bloom.base, sstable.bloom.nbytes))
+            ranges.append((sstable.index.base, sstable.index.nbytes))
+        # The Zipfian hot set: records for the most popular ranks.
+        hot = self.client.hot_keys(10_000)
+        for key in hot:
+            home = self.store.sstables[key % len(self.store.sstables)]
+            addr = home.record_addr(key)
+            if addr is not None:
+                ranges.append((addr, self.record_bytes))
+        return ranges
+
+    # -- request handling ---------------------------------------------------
+    def serve(self, rt: Runtime) -> None:
+        op = self.client.next_op()
+        self.kernel.recv(rt, 96, into_base=self._req_buf,
+                         sock_id=rt.tid * 257 + self.requests_served % 64)
+        with rt.frame(self.fns["thrift_decode"]):
+            token = rt.load(self._req_buf)
+            rt.alu((token,), n=60, chain=False)
+            rt.alu(n=120, chain=False)
+        with rt.frame(self.fns["query_exec"]):
+            rt.alu(n=90, chain=False)
+            self._allocate(rt, 256)  # per-request garbage
+            if op.kind == "read":
+                self._execute_read(rt, op.key)
+            else:
+                self._execute_update(rt, op.key)
+        self.kernel.send(rt, self.record_bytes + 64, payload_base=self._resp_buf,
+                         sock_id=rt.tid * 257 + self.requests_served % 64)
+        self._jvm_background(rt)
+        with rt.frame(self.fns["commit_log_code"]):
+            self.store.background(rt)  # flush/compaction slices
+        self.requests_served += 1
+        if self.requests_served % 64 == 0:
+            self._minor_gc(rt)
+
+    def _execute_read(self, rt: Runtime, key: int) -> None:
+        with rt.frame(self.fns["sstable_reader"]):
+            with rt.frame(self.fns["bloom_index"]):
+                rt.alu(n=4)
+            addr = self.store.get(rt, key)
+        with rt.frame(self.fns["serializer"]):
+            # Serialize the record into the response buffer.
+            if addr is not None:
+                for off in range(0, self.record_bytes, _LINE):
+                    token = rt.load(addr + off)
+                    rt.alu((token,), n=4, chain=False)  # field encode
+                    rt.store(self._resp_buf + (off % 8192), (token,))
+            rt.alu(n=12, chain=False)
+
+    def _execute_update(self, rt: Runtime, key: int) -> None:
+        with rt.frame(self.fns["memtable_code"]):
+            rt.alu(n=4)
+        with rt.frame(self.fns["commit_log_code"]):
+            self.store.put(rt, key)
+        with rt.frame(self.fns["serializer"]):
+            rt.store(self._resp_buf)
+            rt.alu(n=4)
+
+    # -- managed-runtime behaviour -----------------------------------------
+    def _allocate(self, rt: Runtime, nbytes: int) -> int:
+        """Bump allocation in the shared nursery (TLAB refills elided)."""
+        addr = self.nursery + (self._alloc_cursor % self.nursery_bytes)
+        self._alloc_cursor += nbytes
+        rt.store(addr)  # object header write
+        return addr
+
+    def _jvm_background(self, rt: Runtime) -> None:
+        """JIT-compiled runtime glue around every request."""
+        with rt.frame(self.fns["jvm_runtime"]):
+            rt.alu(n=170, chain=False)
+            rt.load(self.nursery + (self._alloc_cursor % self.nursery_bytes))
+        with rt.frame(self.fns["jit_helpers"]):
+            rt.alu(n=60, chain=False)
+
+    def _minor_gc(self, rt: Runtime) -> None:
+        """Young-generation scan: read live objects, write mark words."""
+        with rt.frame(self.fns["gc_code"]):
+            scan_bytes = 32 * 1024
+            base = self.nursery + (self._gc_cursor % self.nursery_bytes)
+            self._gc_cursor += scan_bytes
+            for off in range(0, scan_bytes, 4 * _LINE):
+                token = rt.load(base + (off % self.nursery_bytes))
+                if off % (16 * _LINE) == 0:
+                    rt.store(base + (off % self.nursery_bytes), (token,))

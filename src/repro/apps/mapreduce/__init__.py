@@ -1,0 +1,20 @@
+"""MapReduce workload: Hadoop running Mahout Bayesian classification.
+
+Paper setup (§3.2): "We benchmark a node of a four-node Hadoop 0.20.2
+cluster, running the Bayesian classification algorithm from the Mahout
+0.4 library.  The algorithm attempts to guess the country tag of each
+article in a 4.5GB set of Wikipedia pages."
+
+The package contains a generic map/combine/shuffle/reduce engine, a real
+multinomial naive-Bayes classifier (trained at setup over a synthetic
+corpus with class-conditional word distributions), and the workload app
+that runs classification map tasks over streaming input splits — the
+sequential-scan behaviour that makes MapReduce the one scale-out
+workload that benefits from hardware prefetchers (Figure 5).
+"""
+
+from repro.apps.mapreduce.classifier import NaiveBayesModel
+from repro.apps.mapreduce.engine import MapReduceEngine, MapTask
+from repro.apps.mapreduce.app import MapReduceApp
+
+__all__ = ["NaiveBayesModel", "MapReduceEngine", "MapTask", "MapReduceApp"]

@@ -1,0 +1,118 @@
+"""A map/combine/shuffle/reduce engine.
+
+Generic over user-supplied map and reduce functions, like the Hadoop
+infrastructure it stands in for (§2.2: "Users implement algorithms using
+map and reduce functions and provide these functions to the map-reduce
+infrastructure, which is then responsible for orchestrating the work").
+Communication between phases goes through materialized intermediate
+"files" (the engine tracks bytes written/read), keeping map and reduce
+tasks architecturally independent — the property the paper highlights.
+
+The engine is fully functional on plain Python data and is also used
+untraced in the unit tests (word count, inverted index).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Sequence
+
+MapFn = Callable[[object], Iterable[tuple[Hashable, object]]]
+ReduceFn = Callable[[Hashable, list[object]], object]
+
+
+@dataclass
+class MapTask:
+    """One input split assigned to one mapper."""
+
+    task_id: int
+    records: Sequence[object]
+
+
+@dataclass
+class ShufflePartition:
+    """Intermediate data destined for one reducer."""
+
+    partition_id: int
+    pairs: list[tuple[Hashable, object]] = field(default_factory=list)
+
+    @property
+    def approximate_bytes(self) -> int:
+        return 16 * len(self.pairs)
+
+
+class MapReduceEngine:
+    """Orchestrates map → combine → shuffle → reduce over input splits."""
+
+    def __init__(self, num_reducers: int = 4) -> None:
+        if num_reducers <= 0:
+            raise ValueError("need at least one reducer")
+        self.num_reducers = num_reducers
+        self.map_output_records = 0
+        self.combined_records = 0
+        self.shuffle_bytes = 0
+        self.reduce_input_groups = 0
+
+    # -- phases -----------------------------------------------------------
+    def split(self, records: Sequence[object], split_size: int) -> list[MapTask]:
+        if split_size <= 0:
+            raise ValueError("split_size must be positive")
+        return [
+            MapTask(i, records[offset: offset + split_size])
+            for i, offset in enumerate(range(0, len(records), split_size))
+        ]
+
+    def run_map_task(
+        self,
+        task: MapTask,
+        map_fn: MapFn,
+        combine_fn: ReduceFn | None = None,
+    ) -> list[ShufflePartition]:
+        """Run one mapper; returns its partitioned (combined) output."""
+        partitions = [ShufflePartition(p) for p in range(self.num_reducers)]
+        buffered: dict[Hashable, list[object]] = defaultdict(list)
+        for record in task.records:
+            for key, value in map_fn(record):
+                self.map_output_records += 1
+                buffered[key].append(value)
+        for key, values in buffered.items():
+            if combine_fn is not None and len(values) > 1:
+                values = [combine_fn(key, values)]
+                self.combined_records += 1
+            partition = partitions[hash(key) % self.num_reducers]
+            for value in values:
+                partition.pairs.append((key, value))
+        for partition in partitions:
+            self.shuffle_bytes += partition.approximate_bytes
+        return partitions
+
+    def run_reduce(
+        self,
+        partitions: Iterable[ShufflePartition],
+        reduce_fn: ReduceFn,
+    ) -> dict[Hashable, object]:
+        """Merge shuffle output and apply the reducer per key group."""
+        grouped: dict[Hashable, list[object]] = defaultdict(list)
+        for partition in partitions:
+            for key, value in partition.pairs:
+                grouped[key].append(value)
+        output: dict[Hashable, object] = {}
+        for key in sorted(grouped, key=repr):
+            self.reduce_input_groups += 1
+            output[key] = reduce_fn(key, grouped[key])
+        return output
+
+    def run(
+        self,
+        records: Sequence[object],
+        map_fn: MapFn,
+        reduce_fn: ReduceFn,
+        split_size: int = 64,
+        combine_fn: ReduceFn | None = None,
+    ) -> dict[Hashable, object]:
+        """The whole pipeline on one node (used by tests and examples)."""
+        all_partitions: list[ShufflePartition] = []
+        for task in self.split(records, split_size):
+            all_partitions.extend(self.run_map_task(task, map_fn, combine_fn))
+        return self.run_reduce(all_partitions, reduce_fn)

@@ -1,0 +1,22 @@
+"""Traditional transaction-processing workloads (§3.3).
+
+A B+-tree storage engine with a buffer manager, lock manager, and
+write-ahead log, plus the benchmark transaction suites:
+
+* **TPC-C** — the classic order-entry mix (new-order, payment, order-
+  status, delivery, stock-level over 40 warehouses, scaled), whose
+  dependent index descents and hot-row read-write sharing make it the
+  paper's most memory-bound and most sharing-intensive workload
+  (Figures 1 and 6).
+* **TPC-E** — the brokerage workload: more complex schemas and queries,
+  more compute between accesses (the paper finds scale-out workloads
+  "most similar to TPC-E and Web Backend").
+* The **Web Backend** configuration (MySQL behind the Olio frontend)
+  lives in :mod:`repro.apps.webbackend` and reuses this engine.
+"""
+
+from repro.apps.oltp.btree import BPlusTree
+from repro.apps.oltp.engine import StorageEngine, Table, LockManager
+from repro.apps.oltp.app import TpccApp, TpceApp
+
+__all__ = ["BPlusTree", "StorageEngine", "Table", "LockManager", "TpccApp", "TpceApp"]

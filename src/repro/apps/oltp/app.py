@@ -1,0 +1,143 @@
+"""The TPC-C and TPC-E workload apps (§3.3).
+
+Both run a commercial-DBMS-sized code footprint over the storage engine:
+client requests arrive over the network (32 zero-think-time clients for
+TPC-C; a local driver for TPC-E, §3.3), pass through parser/optimizer/
+executor layers, and execute their transaction logic.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import ServerApp
+from repro.apps.oltp.engine import StorageEngine
+from repro.apps.oltp.transactions import TpccDatabase, TpceDatabase
+from repro.machine.runtime import Runtime
+
+
+class _DbmsApp(ServerApp):
+    """Shared DBMS scaffolding: code plan + request wrapping."""
+
+    #: (function, KB, locality, bb_mean, hot_fraction)
+    CODE_PLAN: list[tuple[str, int, str, int, float]] = []
+    #: (transaction name, weight) — the benchmark mix.
+    TXN_MIX: list[tuple[str, float]] = []
+    #: Whether each request crosses the network (TPC-C clients are remote).
+    remote_clients = True
+
+    def setup(self) -> None:
+        self.fns = {
+            name: self.layout.function(
+                f"dbms.{name}", kb * 1024, locality=loc,
+                bb_mean=bb, hot_fraction=hot,
+            )
+            for name, kb, loc, bb, hot in self.CODE_PLAN
+        }
+        self.engine = StorageEngine(self.space)
+        self.db = self._build_database()
+        self._cdf: list[tuple[float, str]] = []
+        total = sum(w for _, w in self.TXN_MIX)
+        acc = 0.0
+        for name, weight in self.TXN_MIX:
+            acc += weight / total
+            self._cdf.append((acc, name))
+
+    def _build_database(self):
+        raise NotImplementedError
+
+    def _pick_txn(self) -> str:
+        draw = self.rng.random()
+        for edge, name in self._cdf:
+            if draw <= edge:
+                return name
+        return self._cdf[-1][1]
+
+    def warm_ranges(self):
+        engine = self.engine
+        ranges = [
+            (engine.locks.lock_words.base, engine.locks.lock_words.nbytes),
+            (engine.buffer_control.base, engine.buffer_control.nbytes),
+            (engine.log_buffer, engine.log_buffer_bytes),
+        ]
+        # Hot tables: small ones entirely; index upper levels come along
+        # via the replay.  Large tables stay cold, as on the real machine.
+        for table in engine.tables.values():
+            if table.rows.nbytes <= (2 << 20):
+                ranges.append((table.rows.base, table.rows.nbytes))
+        return ranges
+
+    def serve(self, rt: Runtime) -> None:
+        txn = self._pick_txn()
+        if self.remote_clients:
+            self.kernel.recv(rt, 256, sock_id=rt.tid * 37)
+        with rt.frame(self.fns["net_service"]):
+            rt.alu(n=30, chain=False)
+        with rt.frame(self.fns["sql_parser"]):
+            rt.alu(n=220, chain=False)
+        with rt.frame(self.fns["optimizer"]):
+            rt.alu(n=260, chain=False)
+        with rt.frame(self.fns["executor"]):
+            self.engine.touch_buffer_manager(rt)
+            with rt.frame(self.fns["btree_code"]):
+                getattr(self.db, txn)(rt, self.kernel)
+        with rt.frame(self.fns["dbms_runtime"]):
+            rt.alu(n=240, chain=False)
+        if self.remote_clients:
+            self.kernel.send(rt, 1024, sock_id=rt.tid * 37)
+
+
+class TpccApp(_DbmsApp):
+    """TPC-C: 40 warehouses, 32 remote zero-think-time clients (§3.3)."""
+
+    name = "tpc-c"
+    os_intensive = True
+
+    CODE_PLAN = [
+        ("net_service", 128, "scatter", 7, 0.15),
+        ("sql_parser", 192, "scatter", 7, 0.12),
+        ("optimizer", 288, "scatter", 7, 0.1),
+        ("executor", 352, "scatter", 7, 0.1),
+        ("btree_code", 224, "scatter", 7, 0.15),
+        ("buffer_manager", 192, "scatter", 7, 0.15),
+        ("lock_log_code", 160, "scatter", 7, 0.15),
+        ("dbms_runtime", 448, "scatter", 7, 0.08),
+    ]
+
+    TXN_MIX = [
+        ("new_order", 45.0),
+        ("payment", 43.0),
+        ("order_status", 4.0),
+        ("delivery", 4.0),
+        ("stock_level", 4.0),
+    ]
+
+    def _build_database(self) -> TpccDatabase:
+        return TpccDatabase(self.engine, warehouses=40, seed=self.seed)
+
+
+class TpceApp(_DbmsApp):
+    """TPC-E 1.12-flavoured brokerage mix; local client driver (§3.3)."""
+
+    name = "tpc-e"
+    os_intensive = False
+    remote_clients = False
+
+    CODE_PLAN = [
+        ("net_service", 96, "scatter", 7, 0.2),
+        ("sql_parser", 224, "scatter", 7, 0.12),
+        ("optimizer", 352, "scatter", 7, 0.1),
+        ("executor", 416, "scatter", 8, 0.1),
+        ("btree_code", 224, "scatter", 7, 0.15),
+        ("buffer_manager", 192, "scatter", 7, 0.15),
+        ("lock_log_code", 160, "scatter", 7, 0.15),
+        ("dbms_runtime", 512, "scatter", 7, 0.08),
+    ]
+
+    TXN_MIX = [
+        ("trade_order", 25.0),
+        ("trade_result", 20.0),
+        ("trade_lookup", 40.0),
+        ("market_feed", 15.0),
+    ]
+
+    def _build_database(self) -> TpceDatabase:
+        return TpceDatabase(self.engine, customers=80_000, seed=self.seed)

@@ -1,0 +1,236 @@
+"""A complete DPLL SAT solver with watched literals.
+
+Literals are non-zero ints (+v / -v), clauses are tuples of literals.
+The solver optionally emits its memory behaviour through a
+:class:`~repro.machine.runtime.Runtime`: watch-array scans are
+independent sequential loads; the clause inspections they feed are
+dependent loads; evaluation outcomes are data-dependent branches.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.machine.address_space import AddressSpace
+from repro.machine.runtime import Runtime
+from repro.machine.structures import SimArray
+
+_LINE = 64
+
+UNASSIGNED = 0
+TRUE = 1
+FALSE = -1
+
+
+def random_3sat(nvars: int, nclauses: int, seed: int = 0) -> list[tuple[int, ...]]:
+    """A uniformly random 3-SAT instance (distinct variables per clause)."""
+    if nvars < 3:
+        raise ValueError("need at least 3 variables")
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(nclauses):
+        vars_ = rng.sample(range(1, nvars + 1), 3)
+        clauses.append(tuple(v if rng.random() < 0.5 else -v for v in vars_))
+    return clauses
+
+
+def check_model(clauses: Sequence[tuple[int, ...]], model: dict[int, bool]) -> bool:
+    """True iff ``model`` satisfies every clause."""
+    for clause in clauses:
+        if not any(model.get(abs(lit), False) == (lit > 0) for lit in clause):
+            return False
+    return True
+
+
+class DpllSolver:
+    """DPLL with two watched literals, VSIDS-ish activity, and restarts."""
+
+    def __init__(
+        self,
+        nvars: int,
+        clauses: Sequence[tuple[int, ...]],
+        space: AddressSpace | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.nvars = nvars
+        self.clauses = [tuple(c) for c in clauses]
+        self.rng = random.Random(seed)
+        self.assignment = [UNASSIGNED] * (nvars + 1)
+        self.activity = [0.0] * (nvars + 1)
+        # trail holds (literal, is_decision, tried_both)
+        self.trail: list[tuple[int, bool, bool]] = []
+        self.watches: dict[int, list[int]] = {}
+        self._watched: list[list[int]] = []  # the two watched lits per clause
+        self.propagations = 0
+        self.decisions = 0
+        self.conflicts = 0
+        # Simulated-memory layout (present even untraced; cheap).
+        self._space = space
+        if space is not None:
+            self.clause_mem = SimArray(space, max(1, len(self.clauses)), _LINE)
+            self.watch_mem = SimArray(space, max(1, 4 * len(self.clauses) + 4), 8)
+            self.trail_mem = SimArray(space, nvars + 1, 16)
+            self.activity_mem = SimArray(space, nvars + 1, 8)
+        self._init_watches()
+
+    # -- setup -----------------------------------------------------------
+    def _init_watches(self) -> None:
+        for index, clause in enumerate(self.clauses):
+            first_two = list(dict.fromkeys(clause))[:2]
+            if len(first_two) == 1:
+                first_two = first_two * 2
+            self._watched.append(first_two)
+            for lit in first_two:
+                self.watches.setdefault(lit, []).append(index)
+
+    # -- assignment helpers -------------------------------------------------
+    def value(self, lit: int) -> int:
+        v = self.assignment[abs(lit)]
+        if v == UNASSIGNED:
+            return UNASSIGNED
+        return v if lit > 0 else -v
+
+    def _assign(self, lit: int, is_decision: bool, rt: Runtime | None) -> bool:
+        """Assign ``lit`` True and propagate; False on conflict."""
+        self.assignment[abs(lit)] = TRUE if lit > 0 else FALSE
+        self.trail.append((lit, is_decision, False))
+        if rt is not None:
+            self.trail_mem.write(rt, (len(self.trail) - 1) % (self.nvars + 1))
+        return self._propagate(-lit, rt)
+
+    def _propagate(self, false_lit: int, rt: Runtime | None) -> bool:
+        """Watched-literal propagation of a literal that became false."""
+        queue = [false_lit]
+        while queue:
+            lit = queue.pop()
+            watch_list = self.watches.get(lit)
+            if not watch_list:
+                continue
+            if rt is not None:
+                head = rt.load(self.watch_mem.addr(abs(lit) % self.watch_mem.count))
+            still_watched: list[int] = []
+            for scan_pos, clause_index in enumerate(list(watch_list)):
+                self.propagations += 1
+                if rt is not None:
+                    # Sequential scan of the watch array (independent)...
+                    entry = rt.load(
+                        self.watch_mem.addr((abs(lit) + scan_pos) % self.watch_mem.count)
+                    )
+                    # ...feeding a dependent clause-data load.
+                    rt.load(self.clause_mem.addr(clause_index % self.clause_mem.count),
+                            (entry,))
+                    rt.alu(n=2)
+                clause = self.clauses[clause_index]
+                watched = self._watched[clause_index]
+                other = watched[0] if watched[1] == lit else watched[1]
+                if self.value(other) == TRUE:
+                    still_watched.append(clause_index)
+                    continue
+                # Find a replacement watch.
+                replacement = None
+                for cand in clause:
+                    if cand != lit and cand != other and self.value(cand) != FALSE:
+                        replacement = cand
+                        break
+                if rt is not None:
+                    rt.branch(replacement is not None, site="watch.replacement")
+                if replacement is not None:
+                    if watched[0] == lit:
+                        watched[0] = replacement
+                    else:
+                        watched[1] = replacement
+                    self.watches.setdefault(replacement, []).append(clause_index)
+                    if rt is not None:
+                        rt.store(self.watch_mem.addr(
+                            abs(replacement) % self.watch_mem.count))
+                    continue
+                still_watched.append(clause_index)
+                other_value = self.value(other)
+                if other_value == UNASSIGNED:
+                    # Unit clause: imply `other`.
+                    self.assignment[abs(other)] = TRUE if other > 0 else FALSE
+                    self.trail.append((other, False, False))
+                    if rt is not None:
+                        self.trail_mem.write(rt, abs(other) % (self.nvars + 1))
+                    queue.append(-other)
+                elif other_value == FALSE:
+                    # Conflict: keep the unprocessed tail watched.
+                    processed = scan_pos + 1
+                    self.watches[lit] = still_watched + watch_list[processed:]
+                    self.conflicts += 1
+                    for v in (abs(l) for l in clause):
+                        self.activity[v] += 1.0
+                        if rt is not None:
+                            rt.store(self.activity_mem.addr(v))
+                    return False
+            self.watches[lit] = still_watched
+        return True
+
+    # -- search -----------------------------------------------------------
+    def _pick_variable(self, rt: Runtime | None) -> int:
+        best, best_score = 0, -1.0
+        for v in range(1, self.nvars + 1):
+            if self.assignment[v] == UNASSIGNED and self.activity[v] > best_score:
+                best, best_score = v, self.activity[v]
+        if rt is not None:
+            # The heuristic scan reads the activity array sequentially.
+            rt.scan(self.activity_mem.base,
+                    min(self.activity_mem.nbytes, 16 * _LINE), work_per_line=1)
+        if best and self.rng.random() < 0.5:
+            return -best
+        return best
+
+    def _backtrack(self, rt: Runtime | None) -> bool:
+        """Undo to the most recent decision not yet tried both ways."""
+        while self.trail:
+            lit, is_decision, tried_both = self.trail.pop()
+            self.assignment[abs(lit)] = UNASSIGNED
+            if rt is not None:
+                rt.store(self.trail_mem.addr(abs(lit) % (self.nvars + 1)))
+            if is_decision and not tried_both:
+                flipped = -lit
+                self.assignment[abs(flipped)] = TRUE if flipped > 0 else FALSE
+                self.trail.append((flipped, True, True))
+                if not self._propagate(-flipped, rt):
+                    continue_search = self._backtrack(rt)
+                    if not continue_search:
+                        return False
+                return True
+        return False  # exhausted: UNSAT
+
+    def solve(
+        self, rt: Runtime | None = None, max_decisions: int | None = None
+    ) -> str:
+        """Run to completion (or decision budget).
+
+        Returns 'sat', 'unsat', or 'unknown' (budget exhausted)."""
+        # Propagate initial unit clauses.
+        for index, clause in enumerate(self.clauses):
+            if len(set(clause)) == 1:
+                lit = clause[0]
+                if self.value(lit) == FALSE:
+                    return "unsat"
+                if self.value(lit) == UNASSIGNED:
+                    if not self._assign(lit, False, rt):
+                        if not self._backtrack(rt):
+                            return "unsat"
+        while True:
+            if all(self.assignment[v] != UNASSIGNED for v in range(1, self.nvars + 1)):
+                return "sat"
+            lit = self._pick_variable(rt)
+            if lit == 0:
+                return "sat"
+            self.decisions += 1
+            if max_decisions is not None and self.decisions > max_decisions:
+                return "unknown"
+            if not self._assign(lit, True, rt):
+                if not self._backtrack(rt):
+                    return "unsat"
+
+    def model(self) -> dict[int, bool]:
+        return {
+            v: self.assignment[v] == TRUE
+            for v in range(1, self.nvars + 1)
+            if self.assignment[v] != UNASSIGNED
+        }

@@ -1,0 +1,16 @@
+"""SPECweb09 workload (§3.3): the e-banking mix on Nginx + FastCGI PHP.
+
+"We benchmark the e-banking workload running on the Nginx 1.0.1 web
+server with an external FastCGI PHP 5.2.6 module and APC ... We disable
+connection encryption (SSL)."
+
+The traditional enterprise-web contrast case: dominated by serving
+static files and a small number of dynamic scripts, with far heavier OS
+involvement and lower core utilization than the modern Web Frontend
+workload (§4: "a traditional enterprise web workload behaves
+differently from the Web Frontend workload").
+"""
+
+from repro.apps.specweb.app import SpecWebApp
+
+__all__ = ["SpecWebApp"]

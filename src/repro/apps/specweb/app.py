@@ -1,0 +1,114 @@
+"""The SPECweb09 e-banking app.
+
+Per request (72 % static / 28 % dynamic, the e-banking profile): HTTP
+parse, then either a page-cache file read plus sendfile — almost
+entirely kernel work — or a short FastCGI round trip into an external
+PHP process (account summary pages), then the response send.  The
+external FastCGI hop adds context switches and socket traffic, which is
+why the OS dominates this workload's execution time (Figure 1) and
+instruction misses (Figure 2's OS bars).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import ServerApp
+from repro.load.faban import FabanDriver
+from repro.machine.runtime import Runtime
+
+_LINE = 64
+
+
+class SpecWebApp(ServerApp):
+    """Nginx + external FastCGI PHP serving the e-banking mix."""
+
+    name = "specweb09"
+    os_intensive = True
+
+    CODE_PLAN = [
+        ("nginx_core", 192, "scatter", 8, 0.15),
+        ("http_parser", 96, "scatter", 7, 0.2),
+        ("mime_types", 48, "scatter", 9, 0.3),
+        ("fastcgi_client", 96, "scatter", 8, 0.2),
+        ("php_engine", 448, "scatter", 7, 0.1),
+        ("ssl_stub", 64, "scatter", 8, 0.2),
+        ("logging", 64, "scatter", 9, 0.25),
+    ]
+
+    REQUEST_MIX = [
+        ("static_small", 38.0),  # icons, css, js
+        ("static_large", 34.0),  # statements, images
+        ("dynamic_page", 28.0),  # account summary, transfers
+    ]
+
+    def __init__(self, seed: int = 0, num_clients: int = 96,
+                 num_files: int = 2_000) -> None:
+        self.num_clients = num_clients
+        self.num_files = num_files
+        super().__init__(seed)
+
+    def setup(self) -> None:
+        self.fns = {
+            name: self.layout.function(
+                f"specweb.{name}", kb * 1024, locality=loc,
+                bb_mean=bb, hot_fraction=hot,
+            )
+            for name, kb, loc, bb, hot in self.CODE_PLAN
+        }
+        self.driver = FabanDriver(self.num_clients, self.REQUEST_MIX,
+                                  seed=self.seed)
+        self._req_buf = self.space.alloc(4096, "heap", align=_LINE)
+        self._resp_buf = self.space.alloc(32 * 1024, "heap", align=_LINE)
+        self.requests_served = 0
+        self.static_bytes_sent = 0
+
+    def warm_ranges(self):
+        return [(self._resp_buf, 32 * 1024)]
+
+    def serve(self, rt: Runtime) -> None:
+        session, kind = self.driver.next_request(affinity=rt.tid)
+        self.kernel.recv(rt, 384, into_base=self._req_buf,
+                         sock_id=session.session_id)
+        with rt.frame(self.fns["nginx_core"]):
+            rt.alu(n=30, chain=False)
+            with rt.frame(self.fns["http_parser"]):
+                token = rt.load(self._req_buf)
+                rt.alu((token,), n=40, chain=False)
+            with rt.frame(self.fns["mime_types"]):
+                rt.alu(n=10, chain=False)
+        if kind == "static_small":
+            self._static(rt, session, 4 * 1024)
+        elif kind == "static_large":
+            self._static(rt, session, 24 * 1024)
+        else:
+            self._dynamic(rt, session)
+        with rt.frame(self.fns["logging"]):
+            rt.alu(n=12, chain=False)
+            rt.store(self._resp_buf)
+        self.requests_served += 1
+
+    def _static(self, rt: Runtime, session, nbytes: int) -> None:
+        """Static file: page-cache read + sendfile (kernel-dominated)."""
+        file_id = session.rng.randrange(self.num_files)
+        self.kernel.read_file(rt, 2_000_000 + file_id, 0, nbytes)
+        # sendfile(): the NIC DMAs the payload straight from the page cache.
+        self.kernel.sendfile(rt, nbytes, sock_id=session.session_id)
+        self.static_bytes_sent += nbytes
+
+    def _dynamic(self, rt: Runtime, session) -> None:
+        """FastCGI round trip to the external PHP process."""
+        with rt.frame(self.fns["fastcgi_client"]):
+            rt.alu(n=30, chain=False)
+        # Socket hop to the PHP process + context switch both ways.
+        self.kernel.send(rt, 512, sock_id=session.session_id)
+        self.kernel.context_switch(rt)
+        with rt.frame(self.fns["php_engine"]):
+            rt.alu(n=240, chain=False)
+            token = rt.load(self._req_buf)
+            rt.alu((token,), n=60, chain=False)
+            for off in range(0, 4096, _LINE):
+                rt.store(self._resp_buf + off)
+        self.kernel.context_switch(rt)
+        self.kernel.recv(rt, 4096, into_base=self._resp_buf,
+                         sock_id=session.session_id)
+        self.kernel.send(rt, 8 * 1024, payload_base=self._resp_buf,
+                         sock_id=session.session_id)

@@ -1,0 +1,22 @@
+"""Media Streaming workload: a Darwin-Streaming-Server-like packetizer.
+
+Paper setup (§3.2): "We benchmark the Darwin Streaming Server 6.0.3,
+serving videos of varying duration, using the Faban driver to simulate
+the clients."
+
+The server manages hundreds of concurrent RTP sessions; each session
+streams a different position of a pre-encoded media file, so even
+popular content is read at per-client offsets ("the on-demand unicast
+nature ... practically guarantees that the streaming server will work
+on a different piece of the media file for each client", §2.2).  That
+is what gives this workload the highest off-chip bandwidth of the suite
+(Figure 7) and makes the L2 prefetchers counter-productive (more
+concurrent streams than the stream table can track, Figure 5).  The
+per-packet update of global server statistics reproduces the shared
+counters the paper calls out in §4.4.
+"""
+
+from repro.apps.streaming.library import MediaLibrary, MediaFile
+from repro.apps.streaming.app import MediaStreamingApp
+
+__all__ = ["MediaLibrary", "MediaFile", "MediaStreamingApp"]

@@ -1,0 +1,174 @@
+"""The Media Streaming server: RTP sessions, packetizer, rate control.
+
+One ``serve`` call advances one client session by one RTP packet:
+session lookup, rate-control bookkeeping, packetization of the next
+media segment (the kernel send path copies the payload out of the media
+file), RTCP/timer housekeeping, and the global statistics update that
+§4.4 identifies as the server's (trivially avoidable) sharing
+bottleneck.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import ServerApp
+from repro.apps.streaming.library import MediaLibrary
+from repro.load.distributions import ZipfGenerator
+from repro.load.faban import FabanDriver
+from repro.machine.runtime import Runtime
+from repro.machine.structures import SimArray
+
+_LINE = 64
+_PACKET = 1448
+
+
+class MediaStreamingApp(ServerApp):
+    """Darwin-like streaming server under a Faban client driver."""
+
+    name = "media-streaming"
+    os_intensive = True
+
+    CODE_PLAN = [
+        ("rtsp_parser", 160, "scatter", 7, 0.12),
+        ("session_mgmt", 192, "scatter", 7, 0.12),
+        ("packetizer", 176, "scatter", 8, 0.15),
+        ("rtp_framer", 96, "scatter", 8, 0.2),
+        ("rate_control", 128, "scatter", 8, 0.15),
+        ("timer_wheel", 96, "scatter", 8, 0.2),
+        ("rtcp_reports", 112, "scatter", 8, 0.15),
+        ("media_cache", 144, "scatter", 7, 0.12),
+        ("server_core", 224, "scatter", 7, 0.1),
+    ]
+
+    def __init__(self, seed: int = 0, num_clients: int = 180,
+                 num_files: int = 48) -> None:
+        self.num_clients = num_clients
+        self.num_files = num_files
+        super().__init__(seed)
+
+    def setup(self) -> None:
+        self.fns = {
+            name: self.layout.function(
+                f"darwin.{name}", kb * 1024, locality=loc,
+                bb_mean=bb, hot_fraction=hot,
+            )
+            for name, kb, loc, bb, hot in self.CODE_PLAN
+        }
+        self.library = MediaLibrary(self.space, num_files=self.num_files,
+                                    seed=self.seed)
+        self.driver = FabanDriver(
+            self.num_clients,
+            [("send_packet", 95.0), ("rtcp", 3.0), ("reposition", 1.0),
+             ("reconnect", 1.0)],
+            seed=self.seed,
+        )
+        popularity = ZipfGenerator(self.num_files, theta=0.8, seed=self.seed)
+        self._popularity = popularity
+        self.sessions_churned = 0
+        # Session table: one 256-byte descriptor per client.
+        self.sessions = SimArray(self.space, self.num_clients, 256)
+        for session in self.driver.sessions:
+            media = self.library.pick_popular(popularity.next())
+            session.state["file"] = media
+            session.state["offset"] = session.rng.randrange(0, media.nbytes, _LINE)
+            session.state["sock"] = session.session_id
+        # Global server statistics: the shared-counter bottleneck (§4.4).
+        self.global_stats = self.space.alloc(4 * _LINE, "heap", align=_LINE)
+        self.timer_wheel = SimArray(self.space, 4096, _LINE)
+        self.packets_streamed = 0
+        self.bytes_streamed = 0
+
+    def warm_ranges(self):
+        return [
+            (self.sessions.base, self.sessions.nbytes),
+            (self.timer_wheel.base, self.timer_wheel.nbytes),
+            (self.global_stats, 4 * _LINE),
+        ]
+
+    # -- request handling --------------------------------------------------
+    def serve(self, rt: Runtime) -> None:
+        session, op = self.driver.next_request(affinity=rt.tid)
+        if op == "send_packet":
+            self._send_packet(rt, session)
+        elif op == "rtcp":
+            self._rtcp(rt, session)
+        elif op == "reconnect":
+            self._reconnect(rt, session)
+        else:
+            self._reposition(rt, session)
+
+    def _send_packet(self, rt: Runtime, session) -> None:
+        media = session.state["file"]
+        offset = session.state["offset"]
+        with rt.frame(self.fns["server_core"]):
+            rt.alu(n=210, chain=False)
+            with rt.frame(self.fns["session_mgmt"]):
+                state = self.sessions.read_record(rt, session.session_id)
+                rt.alu((state,), n=150, chain=False)
+            with rt.frame(self.fns["rate_control"]):
+                rt.alu((state,), n=170, chain=False)
+                self.sessions.write(rt, session.session_id, (state,))
+            with rt.frame(self.fns["timer_wheel"]):
+                slot = (self.packets_streamed + session.session_id) % 4096
+                t = self.timer_wheel.read(rt, slot)
+                self.timer_wheel.write(rt, slot, (t,))
+                rt.alu(n=70, chain=False)
+            with rt.frame(self.fns["packetizer"]):
+                rt.alu(n=230, chain=False)
+                with rt.frame(self.fns["media_cache"]):
+                    # Hint-read of the segment header before handing the
+                    # payload range to the kernel for the copy-out.
+                    rt.load(media.addr(offset))
+                    rt.alu(n=90, chain=False)
+            with rt.frame(self.fns["rtp_framer"]):
+                rt.alu(n=120, chain=False)
+        self.kernel.send(
+            rt, _PACKET, payload_base=media.addr(offset),
+            sock_id=session.state["sock"],
+        )
+        # Global packet/byte counters: every thread writes these lines.
+        token = rt.load(self.global_stats)
+        rt.store(self.global_stats, (token,))
+        session.state["offset"] = (offset + _PACKET) % media.nbytes
+        self.packets_streamed += 1
+        self.bytes_streamed += _PACKET
+
+    def _rtcp(self, rt: Runtime, session) -> None:
+        with rt.frame(self.fns["rtcp_reports"]):
+            rt.alu(n=80, chain=False)
+            state = self.sessions.read(rt, session.session_id)
+            rt.alu((state,), n=20, chain=False)
+        self.kernel.recv(rt, 128, sock_id=session.state["sock"])
+        self.kernel.send(rt, 128, sock_id=session.state["sock"])
+
+    def _reconnect(self, rt: Runtime, session) -> None:
+        """A client leaves and a new one takes the slot: RTSP TEARDOWN
+        then DESCRIBE/SETUP/PLAY — a fresh session record and a new
+        (possibly different) media file."""
+        self.sessions_churned += 1
+        self.kernel.recv(rt, 192, sock_id=session.state["sock"])  # TEARDOWN
+        with rt.frame(self.fns["session_mgmt"]):
+            rt.alu(n=60, chain=False)
+            self.sessions.write(rt, session.session_id)
+        # New client: DESCRIBE + SETUP + PLAY handshake.
+        self.kernel.recv(rt, 512, sock_id=session.state["sock"])
+        with rt.frame(self.fns["rtsp_parser"]):
+            rt.alu(n=220, chain=False)
+        media = self.library.pick_popular(self._popularity.next())
+        session.state["file"] = media
+        session.state["offset"] = 0  # new viewers start at the beginning
+        with rt.frame(self.fns["session_mgmt"]):
+            state = self.sessions.read_record(rt, session.session_id)
+            rt.alu((state,), n=40, chain=False)
+            self.sessions.write(rt, session.session_id, (state,))
+        self.kernel.send(rt, 1024, sock_id=session.state["sock"])  # SDP reply
+
+    def _reposition(self, rt: Runtime, session) -> None:
+        """An RTSP PLAY/seek: re-parse the request, move the cursor."""
+        self.kernel.recv(rt, 256, sock_id=session.state["sock"])
+        with rt.frame(self.fns["rtsp_parser"]):
+            rt.alu(n=150, chain=False)
+        media = session.state["file"]
+        session.state["offset"] = session.rng.randrange(0, media.nbytes, _LINE)
+        with rt.frame(self.fns["session_mgmt"]):
+            state = self.sessions.read(rt, session.session_id)
+            self.sessions.write(rt, session.session_id, (state,))

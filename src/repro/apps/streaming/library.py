@@ -1,0 +1,52 @@
+"""In-memory media library: pre-encoded files at multiple bit-rates."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.machine.address_space import AddressSpace
+
+
+@dataclass(frozen=True)
+class MediaFile:
+    """One encoding of one video: a contiguous byte range."""
+
+    file_id: int
+    base: int
+    nbytes: int
+    bitrate_kbps: int
+
+    def addr(self, offset: int) -> int:
+        return self.base + (offset % self.nbytes)
+
+
+class MediaLibrary:
+    """A catalog of videos of varying duration and bit-rate (§3.2)."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        num_files: int = 48,
+        min_mb: int = 4,
+        max_mb: int = 24,
+        seed: int = 0,
+    ) -> None:
+        if num_files <= 0:
+            raise ValueError("library needs at least one file")
+        rng = random.Random(seed)
+        self.files: list[MediaFile] = []
+        for file_id in range(num_files):
+            nbytes = rng.randrange(min_mb, max_mb + 1) * (1 << 20)
+            bitrate = rng.choice((300, 500, 800))  # low bit-rates (§3.2)
+            base = space.alloc(nbytes, "heap", align=4096)
+            self.files.append(MediaFile(file_id, base, nbytes, bitrate))
+        self.total_bytes = sum(f.nbytes for f in self.files)
+        self._rng = rng
+
+    def pick_popular(self, zipf_draw: int) -> MediaFile:
+        """Map a popularity rank onto a file (popular files first)."""
+        return self.files[zipf_draw % len(self.files)]
+
+    def __len__(self) -> int:
+        return len(self.files)

@@ -1,0 +1,38 @@
+"""Desktop and parallel benchmark proxies (§3.3): PARSEC, SPEC CINT2006.
+
+The paper reports PARSEC and SPECint averaged into cpu-intensive and
+memory-intensive groups, with range bars for the per-benchmark spread
+(Figure 3).  Each group here contains two executable kernels chosen to
+span that spread:
+
+* ``parsec-cpu``   — blackscholes-like dense arithmetic; swaptions-like
+  branchy Monte-Carlo arithmetic.
+* ``parsec-mem``   — streamcluster-like streaming distance kernel (high
+  MLP, prefetcher-friendly); canneal-like random pointer walks.
+* ``specint-cpu``  — h264-like blocked compute; perlbench-like branchy
+  table-driven interpretation.
+* ``specint-mem``  — mcf-like dependent pointer chasing over a working
+  set a few times the LLC (the Figure 4 LLC-sensitivity contrast);
+  libquantum-like pure streaming.
+
+All kernels run entirely in user mode with tiny instruction working
+sets — the contrast class for every figure.
+"""
+
+from repro.apps.synth.kernels import (
+    SynthKernelApp,
+    ParsecCpuApp,
+    ParsecMemApp,
+    SpecIntCpuApp,
+    SpecIntMemApp,
+    McfApp,
+)
+
+__all__ = [
+    "SynthKernelApp",
+    "ParsecCpuApp",
+    "ParsecMemApp",
+    "SpecIntCpuApp",
+    "SpecIntMemApp",
+    "McfApp",
+]

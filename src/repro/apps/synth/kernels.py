@@ -1,0 +1,209 @@
+"""Executable kernels for the desktop/parallel proxy workloads.
+
+Each kernel is a small real loop nest over simulated arrays; the knobs
+(working-set size, access mode, arithmetic per element, dependence
+structure) are set per benchmark to land in the envelope the paper
+reports for its group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import ServerApp
+from repro.machine.runtime import Runtime
+
+_LINE = 64
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One member benchmark of a group."""
+
+    name: str
+    mode: str  # 'stream', 'chase', 'blocked', 'montecarlo', 'table'
+    working_set: int
+    alu_per_line: int
+    chain: bool  # serial arithmetic (low ILP) vs independent (high ILP)
+    weight: float = 1.0
+
+
+class SynthKernelApp(ServerApp):
+    """A compute benchmark: no OS activity, small code footprint.
+
+    ``member`` restricts the app to one benchmark of the group — the
+    runner measures members separately and averages their metrics, as
+    the paper does ("reporting results averaged across all benchmarks"),
+    with the min/max giving Figure 3's range bars.
+    """
+
+    name = "synth"
+    os_intensive = False
+    KERNELS: list[KernelSpec] = []
+    CODE_KB = 24
+
+    def __init__(self, seed: int = 0, member: str | None = None) -> None:
+        if member is not None:
+            matching = [k for k in self.KERNELS if k.name == member]
+            if not matching:
+                names = ", ".join(k.name for k in self.KERNELS)
+                raise KeyError(f"no member {member!r} in {self.name}; have {names}")
+            self.KERNELS = matching
+        super().__init__(seed)
+
+    @classmethod
+    def member_names(cls) -> list[str]:
+        return [k.name for k in cls.KERNELS]
+
+    def setup(self) -> None:
+        self.loop_fn = self.layout.function(
+            f"{self.name}.kernel", self.CODE_KB * 1024, locality="loop",
+            bb_mean=12, hot_fraction=0.6,
+        )
+        self.aux_fn = self.layout.function(
+            f"{self.name}.aux", 32 * 1024, locality="scatter",
+            bb_mean=10, hot_fraction=0.4,
+        )
+        self.arenas = {
+            spec.name: self.space.alloc(spec.working_set, "heap", align=_LINE)
+            for spec in self.KERNELS
+        }
+        self._cursors = {spec.name: 0 for spec in self.KERNELS}
+        self._round = 0
+        self.iterations = 0
+
+    def warm_ranges(self):
+        # Steady state fills the LLC with as much of each working set as
+        # fits: small sets entirely; big pointer-chase arenas partially
+        # (their LLC hit ratio is what makes mcf scale with capacity in
+        # Figure 4).  Pure streaming arenas stay cold — a sweep never
+        # revisits a line before it is evicted.
+        budget = 13 << 20  # slightly over the largest LLC; fill() clamps
+        ranges = []
+        for spec in self.KERNELS:
+            if spec.mode == "stream" and spec.working_set > budget:
+                continue
+            take = min(spec.working_set, budget)
+            ranges.append((self.arenas[spec.name], take))
+            budget -= take
+            if budget <= 0:
+                break
+        return ranges
+
+    def serve(self, rt: Runtime) -> None:
+        spec = self.KERNELS[self._round % len(self.KERNELS)]
+        self._round += 1
+        with rt.frame(self.loop_fn):
+            getattr(self, f"_run_{spec.mode}")(rt, spec)
+        self.iterations += 1
+
+    # -- kernel bodies ----------------------------------------------------
+    def _next_window(self, spec: KernelSpec, nbytes: int) -> int:
+        base = self.arenas[spec.name]
+        cursor = self._cursors[spec.name]
+        self._cursors[spec.name] = (cursor + nbytes) % spec.working_set
+        return base + cursor % max(1, spec.working_set - nbytes)
+
+    def _run_stream(self, rt: Runtime, spec: KernelSpec) -> None:
+        """Unit-stride sweep: independent loads + per-line arithmetic."""
+        window = self._next_window(spec, 8 * 1024)
+        rt.scan(window, 8 * 1024, work_per_line=spec.alu_per_line)
+        rt.scan(window, 2 * 1024, write=True, work_per_line=0)
+
+    def _run_chase(self, rt: Runtime, spec: KernelSpec) -> None:
+        """Dependent pointer walks over the whole working set (mcf-like):
+        two independent chains interleaved, as mcf's arc traversals
+        overlap a little but stay dependence-bound."""
+        lines = spec.working_set // _LINE
+        base = self.arenas[spec.name]
+        position = self._cursors[spec.name]
+        chains = [0, 0]
+        for hop in range(96):
+            position = (position * 1103515245 + 12345) % lines
+            parent = chains[hop & 1]
+            token = rt.load(base + position * _LINE, (parent,) if parent else ())
+            rt.alu((token,), n=spec.alu_per_line, chain=False)
+            chains[hop & 1] = token
+        self._cursors[spec.name] = position
+
+    def _run_blocked(self, rt: Runtime, spec: KernelSpec) -> None:
+        """Cache-blocked compute: repeated sweeps of a block that fits,
+        with a short serial recurrence per element plus independent
+        arithmetic (the FP pipelines of blackscholes/h264)."""
+        block = self.arenas[spec.name] + (
+            self._cursors[spec.name] % max(1, spec.working_set - 16 * 1024)
+        )
+        for _ in range(2):
+            for off in range(0, 4 * 1024, _LINE):
+                token = rt.load(block + off)
+                serial = rt.alu((token,), n=4, chain=True)
+                rt.alu((serial,), n=spec.alu_per_line, chain=False)
+        self._cursors[spec.name] += 4 * 1024
+
+    def _run_montecarlo(self, rt: Runtime, spec: KernelSpec) -> None:
+        """Arithmetic-dominated with data-dependent branches."""
+        window = self._next_window(spec, 1024)
+        token = rt.load(window)
+        for draw in range(24):
+            rt.alu((token,), n=10, chain=spec.chain)
+            rt.branch(self.rng.random() < 0.85, site=f"mc{draw % 4}")
+        rt.store(window, (token,))
+
+    def _run_table(self, rt: Runtime, spec: KernelSpec) -> None:
+        """Table-driven interpretation (perlbench-like): indexed loads
+        into a modest table plus unpredictable dispatch."""
+        base = self.arenas[spec.name]
+        lines = spec.working_set // _LINE
+        for step in range(24):
+            slot = self.rng.randrange(lines)
+            token = rt.load(base + slot * _LINE)
+            rt.alu((token,), n=5, chain=False)
+            rt.indirect_jump(slot & 15, (token,))
+
+
+class ParsecCpuApp(SynthKernelApp):
+    """PARSEC cpu-intensive group (blackscholes/swaptions-like)."""
+
+    name = "parsec-cpu"
+    KERNELS = [
+        KernelSpec("blackscholes", "blocked", 2 << 20, 7, chain=False),
+        KernelSpec("swaptions", "montecarlo", 1 << 20, 8, chain=False),
+    ]
+
+
+class ParsecMemApp(SynthKernelApp):
+    """PARSEC memory-intensive group (streamcluster/canneal-like)."""
+
+    name = "parsec-mem"
+    KERNELS = [
+        KernelSpec("streamcluster", "stream", 96 << 20, 24, chain=False),
+        KernelSpec("canneal", "chase", 64 << 20, 4, chain=True),
+    ]
+
+
+class SpecIntCpuApp(SynthKernelApp):
+    """SPECint cpu-intensive group (h264/perlbench-like)."""
+
+    name = "specint-cpu"
+    KERNELS = [
+        KernelSpec("h264ref", "blocked", 4 << 20, 12, chain=False),
+        KernelSpec("perlbench", "table", 1 << 20, 6, chain=False),
+    ]
+    CODE_KB = 48
+
+
+class SpecIntMemApp(SynthKernelApp):
+    """SPECint memory-intensive group (mcf/libquantum-like)."""
+
+    name = "specint-mem"
+    KERNELS = [
+        KernelSpec("mcf", "chase", 28 << 20, 6, chain=True),
+        KernelSpec("libquantum", "stream", 64 << 20, 20, chain=False),
+    ]
+
+
+class McfApp(SynthKernelApp):
+    """SPECint mcf alone — the Figure 4 LLC-sensitivity reference."""
+
+    name = "specint-mcf"
+    KERNELS = [KernelSpec("mcf", "chase", 28 << 20, 6, chain=True)]

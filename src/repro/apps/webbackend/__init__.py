@@ -1,0 +1,13 @@
+"""Web Backend workload (§3.3): MySQL behind the Olio Web Frontend.
+
+"We benchmark a machine executing the database backend of the Web
+Frontend benchmark presented above.  The backend machine runs the MySQL
+5.5.9 database engine with a 2GB buffer pool."
+
+Reuses the OLTP storage engine with the Olio schema (users, events,
+comments, tags) and the query mix the frontend's pages generate.
+"""
+
+from repro.apps.webbackend.app import WebBackendApp
+
+__all__ = ["WebBackendApp"]

@@ -1,0 +1,20 @@
+"""Web Search workload: a Nutch/Lucene index serving node (ISN).
+
+Paper setup (§3.2): "We benchmark an index serving node (ISN) of the
+distributed version of Nutch 1.2/Lucene 3.0.1 with an index size of 2GB
+and data segment size of 23GB ... making sure that the search index
+fits in memory."
+
+The package implements an inverted index (term dictionary + packed
+postings with document frequencies following a Zipfian law), ranked
+conjunctive query evaluation with posting-list merging and top-k
+selection, and snippet generation from the document store.  Each request
+is handled by one thread with no inter-thread communication (§2.2) —
+and the heavy per-posting decode work gives Web Search the highest IPC
+of the scale-out class (§5's observation, after Reddi et al.).
+"""
+
+from repro.apps.websearch.index import InvertedIndex, QueryResult
+from repro.apps.websearch.app import WebSearchApp
+
+__all__ = ["InvertedIndex", "QueryResult", "WebSearchApp"]

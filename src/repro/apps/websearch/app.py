@@ -1,0 +1,112 @@
+"""The Web Search ISN app: query handling over the in-memory shard.
+
+Per request: receive the query, analyze it, look the terms up in the
+dictionary, merge the posting lists of the rarest terms with per-entry
+decode work, rank, fetch snippets from the document store, and return a
+formatted response to the frontend.  Requests are completely
+independent; the ISN never talks to other ISNs (§2.2).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import ServerApp
+from repro.apps.websearch.index import InvertedIndex
+from repro.load.distributions import ZipfGenerator
+from repro.machine.runtime import Runtime
+
+_LINE = 64
+
+
+class WebSearchApp(ServerApp):
+    """A Nutch/Lucene index serving node."""
+
+    name = "web-search"
+    os_intensive = False
+
+    CODE_PLAN = [
+        ("query_parser", 96, "scatter", 8, 0.2),
+        ("analyzer", 64, "scatter", 9, 0.25),
+        ("term_dictionary", 96, "scatter", 8, 0.2),
+        ("postings_reader", 64, "loop", 10, 0.5),
+        ("scorer", 96, "scatter", 9, 0.25),
+        ("topk_collector", 48, "loop", 10, 0.4),
+        ("snippet_gen", 112, "scatter", 8, 0.15),
+        ("jvm_runtime", 320, "scatter", 7, 0.1),
+        ("gc_code", 96, "scatter", 9, 0.2),
+    ]
+
+    def __init__(self, seed: int = 0, num_terms: int = 30_000,
+                 num_docs: int = 150_000) -> None:
+        self.num_terms = num_terms
+        self.num_docs = num_docs
+        super().__init__(seed)
+
+    def setup(self) -> None:
+        self.fns = {
+            name: self.layout.function(
+                f"lucene.{name}", kb * 1024, locality=loc,
+                bb_mean=bb, hot_fraction=hot,
+            )
+            for name, kb, loc, bb, hot in self.CODE_PLAN
+        }
+        self.index = InvertedIndex(
+            self.space, self.num_terms, self.num_docs, seed=self.seed
+        )
+        rt0 = self.runtime(0)
+        self.index.load_dictionary(rt0)
+        rt0.take()  # startup, not measured
+        self._term_popularity = ZipfGenerator(self.num_terms, theta=0.9,
+                                              seed=self.seed)
+        self._req_buf = self.space.alloc(2048, "heap", align=_LINE)
+        self._resp_buf = self.space.alloc(16 * 1024, "heap", align=_LINE)
+        self.queries_served = 0
+        self.results_returned = 0
+
+    def warm_ranges(self):
+        # Hot postings: the most frequent query terms' lists.
+        ranges = list(self.index.dict_extent)  # buckets + term-node slab
+        ranges.append((self._resp_buf, 16 * 1024))
+        for term in range(2048):
+            length = min(int(self.index.dfs[term]), 64) * 4
+            ranges.append((self.index.posting_addr(term, 0), length))
+        return ranges
+
+    def serve(self, rt: Runtime) -> None:
+        rng = self.rng
+        self.kernel.recv(rt, 160, into_base=self._req_buf,
+                         sock_id=rt.tid * 131 + self.queries_served % 32)
+        with rt.frame(self.fns["query_parser"]):
+            token = rt.load(self._req_buf)
+            rt.alu((token,), n=40, chain=False)
+        num_terms = 2 + (self.queries_served % 3)
+        terms = [self._term_popularity.next() for _ in range(num_terms)]
+        with rt.frame(self.fns["analyzer"]):
+            rt.alu(n=16 * num_terms, chain=False)
+        with rt.frame(self.fns["term_dictionary"]):
+            rt.alu(n=8, chain=False)
+        with rt.frame(self.fns["postings_reader"]):
+            with rt.frame(self.fns["scorer"]):
+                if self.queries_served % 5 == 4:
+                    # ~20% of queries run the (costlier) disjunctive path.
+                    result = self.index.evaluate_or(rt, terms)
+                else:
+                    result = self.index.evaluate_and(rt, terms)
+        with rt.frame(self.fns["topk_collector"]):
+            rt.alu(n=50, chain=False)
+        with rt.frame(self.fns["snippet_gen"]):
+            for doc_id in result.doc_ids[:3]:
+                self.index.snippet(rt, doc_id)
+            for off in range(0, 2048, _LINE):
+                rt.store(self._resp_buf + off)
+        self._jvm_background(rt)
+        self.kernel.send(rt, 2048, payload_base=self._resp_buf,
+                         sock_id=rt.tid * 131 + self.queries_served % 32)
+        self.queries_served += 1
+        self.results_returned += len(result.doc_ids)
+
+    def _jvm_background(self, rt: Runtime) -> None:
+        with rt.frame(self.fns["jvm_runtime"]):
+            rt.alu(n=70, chain=False)
+        if self.queries_served % 128 == 0:
+            with rt.frame(self.fns["gc_code"]):
+                rt.scan(self._resp_buf, 8 * 1024, work_per_line=2)

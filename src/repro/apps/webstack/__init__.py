@@ -1,0 +1,18 @@
+"""Web Frontend workload: Nginx + PHP (APC) serving the Olio application.
+
+Paper setup (§3.2): "We benchmark a frontend machine serving Olio, a
+Web 2.0 web-based social event calendar.  The frontend machine runs
+Nginx 1.0.10 with a built-in PHP 5.3.5 module and APC 3.1.8 PHP opcode
+cache ... and use the Faban driver to simulate clients."
+
+The defining micro-architectural behaviour is the PHP bytecode
+interpreter: an indirect dispatch per opcode over a multi-hundred-KB
+handler body (the largest instruction working set and the lowest MLP of
+the scale-out class), with all state handed off to the backend database
+over a socket — the frontend itself is stateless (§2.2).
+"""
+
+from repro.apps.webstack.interpreter import PhpInterpreter, CompiledScript, Opcode
+from repro.apps.webstack.app import WebFrontendApp
+
+__all__ = ["PhpInterpreter", "CompiledScript", "Opcode", "WebFrontendApp"]

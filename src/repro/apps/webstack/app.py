@@ -1,0 +1,163 @@
+"""The Web Frontend app: Nginx request path + PHP/Olio execution.
+
+Per request: accept/parse HTTP, route to a page script (or the static
+path, ~15 % as in Olio's mix), execute the script on the interpreter —
+every database call crossing the socket to the (remote) backend — and
+send the rendered page.  The dominant costs are the interpreter's
+indirect dispatch over a very large handler body (Fig. 2's tallest
+scale-out L1-I bars and Fig. 3's lowest MLP) and the comparatively
+high per-request core utilization the paper notes for modern dynamic-
+content frontends (§4: highest scale-out IPC).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import ServerApp
+from repro.apps.webstack.interpreter import PhpInterpreter
+from repro.apps.webstack.olio import all_pages
+from repro.load.faban import FabanDriver
+from repro.machine.runtime import Runtime
+
+_LINE = 64
+
+
+class WebFrontendApp(ServerApp):
+    """Nginx + PHP(APC) frontend serving Olio."""
+
+    name = "web-frontend"
+    os_intensive = True
+
+    CODE_PLAN = [
+        ("nginx_core", 192, "scatter", 8, 0.15),
+        ("http_parser", 96, "scatter", 7, 0.2),
+        ("fastcgi_glue", 96, "scatter", 8, 0.2),
+        ("zend_dispatch", 64, "loop", 9, 0.6),
+        ("zend_handlers", 640, "scatter", 6, 0.2),
+        ("zend_runtime", 256, "scatter", 7, 0.12),
+        ("apc_cache", 96, "scatter", 8, 0.2),
+        ("php_stdlib", 288, "scatter", 7, 0.12),
+        ("template_out", 128, "scatter", 8, 0.15),
+    ]
+
+    PAGE_MIX = [
+        ("event_list", 34.0),
+        ("event_detail", 26.0),
+        ("person_page", 14.0),
+        ("tag_search", 9.0),
+        ("add_event", 2.0),
+        ("static_file", 15.0),
+    ]
+
+    def __init__(self, seed: int = 0, num_clients: int = 128) -> None:
+        self.num_clients = num_clients
+        super().__init__(seed)
+
+    def setup(self) -> None:
+        self.fns = {
+            name: self.layout.function(
+                f"web.{name}", kb * 1024, locality=loc,
+                bb_mean=bb, hot_fraction=hot,
+            )
+            for name, kb, loc, bb, hot in self.CODE_PLAN
+        }
+        self.interpreter = PhpInterpreter(
+            self.space,
+            dispatch_fn=self.fns["zend_dispatch"],
+            handlers_fn=self.fns["zend_handlers"],
+        )
+        self.scripts = all_pages()
+        self._apc_compiled: set[str] = set()
+        self.apc_hits = 0
+        self.apc_misses = 0
+        self.driver = FabanDriver(self.num_clients, self.PAGE_MIX, seed=self.seed)
+        # The on-disk static file dataset (12 GB in the paper, scaled).
+        self.static_files = 400
+        self.static_file_bytes = 48 * 1024
+        self._req_buf = self.space.alloc(4096, "heap", align=_LINE)
+        self._resp_buf = self.space.alloc(64 * 1024, "heap", align=_LINE)
+        self.pages_served = 0
+        self.db_roundtrips = 0
+
+    def warm_ranges(self):
+        # Steady state: every page script has long since been compiled
+        # and lives in the APC opcode cache.
+        ranges = [(self._resp_buf, 64 * 1024)]
+        for script in self.scripts.values():
+            if script.bytecode_mem is None:
+                script.place(self.space)
+                self._apc_compiled.add(script.name)
+            mem = script.bytecode_mem
+            ranges.append((mem.base, mem.nbytes))
+        return ranges
+
+    # -- request handling -----------------------------------------------
+    def serve(self, rt: Runtime) -> None:
+        session, page = self.driver.next_request(affinity=rt.tid)
+        self.kernel.recv(rt, 512, into_base=self._req_buf, sock_id=session.session_id)
+        with rt.frame(self.fns["nginx_core"]):
+            rt.alu(n=40, chain=False)
+            with rt.frame(self.fns["http_parser"]):
+                token = rt.load(self._req_buf)
+                rt.alu((token,), n=50, chain=False)
+        if page == "static_file":
+            self._serve_static(rt, session)
+        else:
+            self._serve_php(rt, session, page)
+        self.pages_served += 1
+
+    def _serve_static(self, rt: Runtime, session) -> None:
+        file_id = session.rng.randrange(self.static_files)
+        self.kernel.read_file(
+            rt, 1_000_000 + file_id,
+            session.rng.randrange(0, self.static_file_bytes, 4096), 8192,
+        )
+        self.kernel.sendfile(rt, 8192, sock_id=session.session_id)
+
+    def _serve_php(self, rt: Runtime, session, page: str) -> None:
+        script = self.scripts[page]
+        with rt.frame(self.fns["fastcgi_glue"]):
+            rt.alu(n=60, chain=False)
+        with rt.frame(self.fns["apc_cache"]):
+            # Opcode-cache lookup: hash the path, read the entry.
+            rt.alu(n=10, chain=False)
+            if script.name not in self._apc_compiled:
+                self._compile(rt, script)
+            else:
+                self.apc_hits += 1
+            script.bytecode_mem.read(rt, 0)
+        with rt.frame(self.fns["zend_handlers"]):
+            result = self.interpreter.execute(
+                script, rt, args={0: session.rng.randrange(10_000)}
+            )
+        for _query in result.db_queries:
+            self._db_roundtrip(rt, session)
+        with rt.frame(self.fns["template_out"]):
+            rt.alu(n=40, chain=False)
+            for chunk in range(0, min(len(result.output) * 256, 8192), _LINE):
+                rt.store(self._resp_buf + chunk)
+        self.kernel.send(rt, 8192, payload_base=self._resp_buf,
+                         sock_id=session.session_id)
+
+    def _compile(self, rt: Runtime, script) -> None:
+        """First request for a script: the Zend compiler runs once and
+        APC caches the opcode array (writes into shared memory)."""
+        self.apc_misses += 1
+        script.place(self.space)
+        with rt.frame(self.fns["zend_runtime"]):
+            # Lex/parse/compile: heavy one-time work per source file.
+            rt.alu(n=40 + 6 * len(script.code), chain=False)
+            for index in range(script.bytecode_mem.count):
+                script.bytecode_mem.write(rt, index)
+        self._apc_compiled.add(script.name)
+
+    def _db_roundtrip(self, rt: Runtime, session) -> None:
+        """Send a query to the backend DB machine; parse the result set."""
+        self.db_roundtrips += 1
+        with rt.frame(self.fns["php_stdlib"]):
+            rt.alu(n=35, chain=False)
+        self.kernel.send(rt, 160, sock_id=session.session_id)
+        self.kernel.recv(rt, 2048, into_base=self._resp_buf,
+                         sock_id=session.session_id)
+        with rt.frame(self.fns["zend_runtime"]):
+            rows = rt.load(self._resp_buf)
+            rt.alu((rows,), n=45, chain=False)

@@ -1,0 +1,154 @@
+"""Olio page scripts: the Web 2.0 social-event-calendar application.
+
+Pages are assembled into real bytecode (loops, comparisons, output
+building, database calls) with a tiny assembler, mirroring the PHP
+pages Cloudstone's Olio serves: the event list, event detail, person
+profile, tag search, and the add-event form handler.
+"""
+
+from __future__ import annotations
+
+from repro.apps.webstack.interpreter import CompiledScript, Opcode
+
+
+class ScriptAssembler:
+    """Builds opcode lists with labels and backward jumps."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.code: list[tuple[int, int]] = []
+
+    def emit(self, op: Opcode, operand: int = 0) -> int:
+        self.code.append((int(op), operand))
+        return len(self.code) - 1
+
+    def here(self) -> int:
+        return len(self.code)
+
+    def patch(self, index: int, operand: int) -> None:
+        op, _ = self.code[index]
+        self.code[index] = (op, operand)
+
+    def counted_loop(self, counter_slot: int, count: int, body) -> None:
+        """for (i = 0; i < count; i++) { body(assembler) }"""
+        self.emit(Opcode.PUSH, 0)
+        self.emit(Opcode.STORE, counter_slot)
+        loop_top = self.here()
+        self.emit(Opcode.LOAD, counter_slot)
+        self.emit(Opcode.PUSH, count)
+        self.emit(Opcode.CMP_LT)
+        exit_jump = self.emit(Opcode.JZ, 0)
+        body(self)
+        self.emit(Opcode.LOAD, counter_slot)
+        self.emit(Opcode.PUSH, 1)
+        self.emit(Opcode.ADD)
+        self.emit(Opcode.STORE, counter_slot)
+        self.emit(Opcode.JMP, loop_top)
+        self.patch(exit_jump, self.here())
+
+    def build(self, num_locals: int = 16) -> CompiledScript:
+        return CompiledScript(self.name, list(self.code), num_locals)
+
+
+def _render_row(asm: ScriptAssembler) -> None:
+    asm.emit(Opcode.LOAD, 0)
+    asm.emit(Opcode.CALL_FN, 7)  # htmlspecialchars
+    asm.emit(Opcode.PUSH, 1234)
+    asm.emit(Opcode.CONCAT)
+    asm.emit(Opcode.ECHO)
+
+
+def event_list(page_rows: int = 25) -> CompiledScript:
+    """The home page: query upcoming events, render a table."""
+    asm = ScriptAssembler("event_list")
+    asm.emit(Opcode.CALL_DB, 1)  # SELECT upcoming events
+    asm.emit(Opcode.STORE, 1)
+    asm.counted_loop(0, page_rows, _render_row)
+    asm.emit(Opcode.CALL_DB, 2)  # popular tags sidebar
+    asm.emit(Opcode.STORE, 2)
+    asm.counted_loop(3, 10, _render_row)
+    asm.emit(Opcode.PUSH, 1)
+    asm.emit(Opcode.RET)
+    return asm.build()
+
+
+def event_detail() -> CompiledScript:
+    """One event: details, attendees, comments."""
+    asm = ScriptAssembler("event_detail")
+    asm.emit(Opcode.LOAD, 0)  # event id argument
+    asm.emit(Opcode.CALL_DB, 3)  # SELECT event
+    asm.emit(Opcode.STORE, 1)
+    asm.counted_loop(2, 8, _render_row)  # event fields
+    asm.emit(Opcode.CALL_DB, 4)  # SELECT attendees
+    asm.emit(Opcode.STORE, 3)
+    asm.counted_loop(4, 20, _render_row)
+    asm.emit(Opcode.CALL_DB, 5)  # SELECT comments
+    asm.counted_loop(5, 12, _render_row)
+    asm.emit(Opcode.PUSH, 1)
+    asm.emit(Opcode.RET)
+    return asm.build()
+
+
+def person_page() -> CompiledScript:
+    """A user profile page: profile fields plus the friends list."""
+    asm = ScriptAssembler("person_page")
+    asm.emit(Opcode.LOAD, 0)
+    asm.emit(Opcode.CALL_DB, 6)  # SELECT user profile
+    asm.emit(Opcode.STORE, 1)
+    asm.counted_loop(2, 12, _render_row)
+    asm.emit(Opcode.CALL_DB, 7)  # SELECT friends
+    asm.counted_loop(3, 15, _render_row)
+    asm.emit(Opcode.PUSH, 1)
+    asm.emit(Opcode.RET)
+    return asm.build()
+
+
+def tag_search() -> CompiledScript:
+    """Tag search: normalize the tag, query events by tag, render."""
+    asm = ScriptAssembler("tag_search")
+    asm.emit(Opcode.LOAD, 0)
+    asm.emit(Opcode.CALL_FN, 3)  # normalize the tag
+    asm.emit(Opcode.STORE, 1)
+    asm.emit(Opcode.LOAD, 1)
+    asm.emit(Opcode.CALL_DB, 8)  # SELECT events by tag
+    asm.counted_loop(2, 18, _render_row)
+    asm.emit(Opcode.PUSH, 1)
+    asm.emit(Opcode.RET)
+    return asm.build()
+
+
+def add_event() -> CompiledScript:
+    """The POST handler: validate 12 fields, insert, re-render."""
+    asm = ScriptAssembler("add_event")
+
+    def validate_field(a: ScriptAssembler) -> None:
+        a.emit(Opcode.LOAD, 0)
+        a.emit(Opcode.CALL_FN, 11)  # sanitize
+        a.emit(Opcode.PUSH, 0)
+        a.emit(Opcode.CMP_LT)
+        skip = a.emit(Opcode.JZ, 0)
+        a.emit(Opcode.PUSH, 0)
+        a.emit(Opcode.ECHO)
+        a.patch(skip, a.here())
+
+    asm.counted_loop(1, 12, validate_field)
+    asm.emit(Opcode.CALL_DB, 9)  # INSERT event
+    asm.emit(Opcode.STORE, 2)
+    asm.counted_loop(3, 6, _render_row)
+    asm.emit(Opcode.PUSH, 1)
+    asm.emit(Opcode.RET)
+    return asm.build()
+
+
+def all_pages() -> dict[str, CompiledScript]:
+    """Every Olio page script, keyed by name."""
+    return {
+        script.name: script
+        for script in (
+            event_list(),
+            event_detail(),
+            person_page(),
+            tag_search(),
+            add_event(),
+        )
+    }

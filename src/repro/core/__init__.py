@@ -1,0 +1,36 @@
+"""CloudSuite and the characterization methodology — the paper's core.
+
+This package ties everything together: the workload registry (§3.2 and
+§3.3 configurations), the measurement runner (ramp-up + steady-state
+window, §3.1), the execution-time-breakdown and counter analyses, the
+cache-sensitivity (polluter) methodology, and one experiment module per
+table/figure of the evaluation.
+"""
+
+from repro.core.workloads import (
+    WorkloadSpec,
+    REGISTRY,
+    SCALE_OUT,
+    TRADITIONAL,
+    ALL_WORKLOADS,
+    build_app,
+)
+from repro.core.runner import RunConfig, WorkloadRun, run_workload, run_workload_smt
+from repro.core.breakdown import ExecutionBreakdown, compute_breakdown
+from repro.core import analysis
+
+__all__ = [
+    "WorkloadSpec",
+    "REGISTRY",
+    "SCALE_OUT",
+    "TRADITIONAL",
+    "ALL_WORKLOADS",
+    "build_app",
+    "RunConfig",
+    "WorkloadRun",
+    "run_workload",
+    "run_workload_smt",
+    "ExecutionBreakdown",
+    "compute_breakdown",
+    "analysis",
+]

@@ -1,0 +1,78 @@
+"""Derived metrics over measurement results (the figures' y-axes)."""
+
+from __future__ import annotations
+
+from repro.uarch.core import CoreResult
+
+
+def ipc(result: CoreResult) -> float:
+    """Aggregate committed instructions per cycle."""
+    return result.instructions / result.cycles if result.cycles else 0.0
+
+
+def application_ipc(result: CoreResult) -> float:
+    """Application (non-OS) instructions per total cycle — the Figure 3
+    "Application IPC" and Figure 4 "User IPC" metric; user-IPC is
+    proportional to application throughput (§4.3, footnote 3)."""
+    if not result.cycles:
+        return 0.0
+    return (result.instructions - result.os_instructions) / result.cycles
+
+
+def mlp(result: CoreResult) -> float:
+    """Average outstanding off-core (L2-miss) requests over the cycles
+    with at least one outstanding (§3.1's MSHR-occupancy method)."""
+    return result.mlp
+
+
+def instruction_mpki(result: CoreResult, level: str = "l1i",
+                     os_only: bool = False) -> float:
+    """Instruction misses per kilo-instruction at L1-I or L2 (Figure 2)."""
+    if not result.instructions:
+        return 0.0
+    if level == "l1i":
+        misses = result.l1i_misses_os if os_only else result.l1i_misses
+    elif level == "l2":
+        misses = result.l2i_misses_os if os_only else result.l2i_misses
+    else:
+        raise ValueError(f"unknown level {level!r}")
+    return 1000.0 * misses / result.instructions
+
+
+def l2_hit_ratio(result: CoreResult) -> float:
+    """Demand L2 hit ratio (Figure 5)."""
+    if not result.l2_demand_accesses:
+        return 0.0
+    return result.l2_demand_hits / result.l2_demand_accesses
+
+
+def remote_dirty_fraction(result: CoreResult, os_only: bool = False) -> float:
+    """LLC data references hitting blocks last written by a remote core,
+    normalized to all LLC data references (Figure 6)."""
+    if not result.llc_data_refs:
+        return 0.0
+    hits = result.remote_dirty_hits_os if os_only else result.remote_dirty_hits
+    return hits / result.llc_data_refs
+
+
+def bandwidth_utilization(result: CoreResult, freq_hz: float,
+                          peak_bytes_per_s: float, active_cores: int = 4,
+                          os_only: bool = False) -> float:
+    """Per-core off-chip bandwidth utilization (Figure 7)."""
+    if not result.cycles:
+        return 0.0
+    seconds = result.cycles / freq_hz
+    nbytes = result.offchip_bytes_os if os_only else result.offchip_bytes
+    return (nbytes / seconds) / (peak_bytes_per_s / active_cores)
+
+
+def branch_mispredict_rate(result: CoreResult) -> float:
+    """Mispredicted branches as a fraction of executed branches."""
+    return result.branch_mispredicts / result.branches if result.branches else 0.0
+
+
+def os_instruction_fraction(result: CoreResult) -> float:
+    """Share of committed instructions executed in kernel mode."""
+    if not result.instructions:
+        return 0.0
+    return result.os_instructions / result.instructions

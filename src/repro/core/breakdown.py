@@ -1,0 +1,61 @@
+"""Execution-time breakdown (Figure 1 methodology, §3.1).
+
+"We classify each cycle of execution as Committing if at least one
+instruction was committed during that cycle or as Stalled otherwise.
+Overlapped with the execution-time breakdown, we show the Memory cycles
+bar, which approximates the number of cycles when the processor could
+not commit instructions due to outstanding long-latency memory
+accesses."  Memory cycles are plotted side-by-side, never stacked,
+because data stalls overlap committing cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.uarch.core import CoreResult
+
+
+@dataclass(frozen=True)
+class ExecutionBreakdown:
+    """Fractions of total execution cycles (the Figure 1 bar segments)."""
+
+    stalled_app: float
+    stalled_os: float
+    committing_app: float
+    committing_os: float
+    memory: float  # the overlapped side-bar
+
+    @property
+    def stalled(self) -> float:
+        return self.stalled_app + self.stalled_os
+
+    @property
+    def committing(self) -> float:
+        return self.committing_app + self.committing_os
+
+    def validate(self) -> None:
+        total = self.stalled + self.committing
+        if not 0.999 <= total <= 1.001:
+            raise ValueError(f"breakdown does not sum to 1: {total}")
+
+
+def compute_breakdown(result: CoreResult) -> ExecutionBreakdown:
+    """Classify a run's cycles per the paper's 3.1 methodology."""
+    cycles = result.cycles
+    if cycles == 0:
+        return ExecutionBreakdown(0.0, 0.0, 0.0, 0.0, 0.0)
+    stalled_os = result.stalled_cycles_os / cycles
+    stalled_app = (result.stalled_cycles - result.stalled_cycles_os) / cycles
+    committing_os = result.committing_cycles_os / cycles
+    committing_app = (
+        result.committing_cycles - result.committing_cycles_os
+    ) / cycles
+    memory = min(1.0, result.memory_cycles / cycles)
+    return ExecutionBreakdown(
+        stalled_app=stalled_app,
+        stalled_os=stalled_os,
+        committing_app=committing_app,
+        committing_os=committing_os,
+        memory=memory,
+    )

@@ -1,0 +1,41 @@
+"""One module per table/figure of the paper's evaluation (§4).
+
+Every module exposes ``run(config) -> ExperimentTable`` producing the
+same rows/series the paper reports.  The benchmark harness times these
+and writes their tables; the test suite asserts their qualitative
+shapes (who wins, by roughly what factor, where crossovers fall).
+"""
+
+from repro.core.experiments import (
+    table1,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+
+ALL_EXPERIMENTS = {
+    "table1": table1,
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure7": figure7,
+}
+
+__all__ = [
+    "table1",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "ALL_EXPERIMENTS",
+]

@@ -1,0 +1,60 @@
+"""Figure 2: L1-I and L2 instruction misses per kilo-instruction.
+
+Scale-out workloads' instruction working sets considerably exceed the
+L1-I (and mostly the L2), like traditional server workloads; desktop and
+parallel benchmarks' do not.  The OS components of scale-out workloads
+are smaller than those of traditional server workloads.
+"""
+
+from __future__ import annotations
+
+from repro.core import analysis
+from repro.core.report import ExperimentTable
+from repro.core.runner import RunConfig, metric_mean, run_workload_members
+from repro.core.workloads import ALL_WORKLOADS
+
+
+def run(config: RunConfig | None = None) -> ExperimentTable:
+    """Measure every workload and build the Figure 2 MPKI table."""
+    config = config or RunConfig()
+    table = ExperimentTable(
+        title=(
+            "Figure 2. L1-I and L2 instruction cache miss rates "
+            "(misses per k-instruction), Application and OS components."
+        ),
+        columns=[
+            "Workload",
+            "Group",
+            "L1-I (App)",
+            "L1-I (OS)",
+            "L2 (App)",
+            "L2 (OS)",
+        ],
+    )
+    for spec in ALL_WORKLOADS:
+        runs = run_workload_members(spec.name, config)
+        l1i = metric_mean(runs, analysis.instruction_mpki)
+        l1i_os = metric_mean(
+            runs, lambda r: analysis.instruction_mpki(r, os_only=True)
+        )
+        l2 = metric_mean(runs, lambda r: analysis.instruction_mpki(r, "l2"))
+        l2_os = metric_mean(
+            runs, lambda r: analysis.instruction_mpki(r, "l2", os_only=True)
+        )
+        table.add_row(
+            Workload=spec.display_name,
+            Group=spec.group,
+            **{
+                "L1-I (App)": l1i - l1i_os,
+                "L1-I (OS)": l1i_os,
+                "L2 (App)": l2 - l2_os,
+                "L2 (OS)": l2_os,
+            },
+        )
+    return table
+
+
+def total_l1i_mpki(table: ExperimentTable, workload: str) -> float:
+    """Total (application + OS) L1-I misses per kilo-instruction."""
+    row = table.row_for("Workload", workload)
+    return float(row["L1-I (App)"]) + float(row["L1-I (OS)"])

@@ -1,0 +1,74 @@
+"""Figure 3: application IPC (of a maximum of 4) and MLP, Baseline vs SMT.
+
+Scale-out workloads reach a modest IPC (0.6–1.1 in the paper) and low
+MLP (1.4–2.3) despite the aggressive 4-wide core; adding a second SMT
+thread nearly doubles MLP and improves IPC substantially because the
+threads are independent.  Range bars report the min/max across the
+members of the PARSEC/SPECint groups.
+"""
+
+from __future__ import annotations
+
+from repro.core import analysis
+from repro.core.report import ExperimentTable
+from repro.core.runner import (
+    RunConfig,
+    metric_mean,
+    metric_range,
+    run_workload_members,
+)
+from repro.core.workloads import ALL_WORKLOADS
+
+
+def run(config: RunConfig | None = None) -> ExperimentTable:
+    """Run baseline and SMT configurations; build the Figure 3 table."""
+    config = config or RunConfig()
+    table = ExperimentTable(
+        title=(
+            "Figure 3. Application IPC (max 4) and MLP, for systems "
+            "with and without SMT; range bars are group min/max."
+        ),
+        columns=[
+            "Workload",
+            "Group",
+            "IPC",
+            "IPC (SMT)",
+            "IPC min",
+            "IPC max",
+            "MLP",
+            "MLP (SMT)",
+            "MLP min",
+            "MLP max",
+        ],
+    )
+    for spec in ALL_WORKLOADS:
+        base_runs = run_workload_members(spec.name, config)
+        smt_runs = run_workload_members(spec.name, config, smt=True)
+        ipc_lo, ipc_hi = metric_range(base_runs, analysis.application_ipc)
+        mlp_lo, mlp_hi = metric_range(base_runs, analysis.mlp)
+        table.add_row(
+            Workload=spec.display_name,
+            Group=spec.group,
+            IPC=metric_mean(base_runs, analysis.application_ipc),
+            **{
+                "IPC (SMT)": metric_mean(smt_runs, analysis.application_ipc),
+                "IPC min": ipc_lo,
+                "IPC max": ipc_hi,
+                "MLP": metric_mean(base_runs, analysis.mlp),
+                "MLP (SMT)": metric_mean(smt_runs, analysis.mlp),
+                "MLP min": mlp_lo,
+                "MLP max": mlp_hi,
+            },
+        )
+    table.notes.append(
+        "SMT runs execute two independent instances of the workload on "
+        "one core; IPC aggregates both hardware threads."
+    )
+    return table
+
+
+def smt_ipc_gain(table: ExperimentTable, workload: str) -> float:
+    """Relative aggregate-IPC improvement of SMT over the baseline."""
+    row = table.row_for("Workload", workload)
+    base = float(row["IPC"])
+    return (float(row["IPC (SMT)"]) / base - 1.0) if base else 0.0

@@ -1,0 +1,53 @@
+"""Figure 6: read-write sharing.
+
+Percentage of LLC data references that access cache blocks most
+recently written by a thread on another core, split Application/OS,
+measured with the workload's threads spread across two sockets (§3.1).
+Scale-out workloads share almost nothing (their OS component is the
+network stack; Java workloads add a little GC-induced sharing; Media
+Streaming its global counters); traditional OLTP workloads interact
+constantly through locks and hot rows.
+"""
+
+from __future__ import annotations
+
+from repro.core import analysis
+from repro.core.report import ExperimentTable
+from repro.core.runner import RunConfig, run_workload_chip
+from repro.core.workloads import ALL_WORKLOADS
+
+
+def run(config: RunConfig | None = None, num_cores: int = 4,
+        segments: int = 8) -> ExperimentTable:
+    """Run the two-socket chip setup; build the Figure 6 sharing table."""
+    config = config or RunConfig()
+    table = ExperimentTable(
+        title=(
+            "Figure 6. Percentage of LLC data references accessing "
+            "cache blocks modified by a thread running on a remote core."
+        ),
+        columns=["Workload", "Group", "Application", "OS"],
+    )
+    for spec in ALL_WORKLOADS:
+        # Multithreaded servers run as one process across the cores;
+        # single-process-per-core workloads (SAT Solver, PARSEC, SPECint)
+        # run independent instances — the runner arranges both layouts.
+        chip_run = run_workload_chip(
+            spec.name, config, num_cores=num_cores, segments=segments
+        )
+        summed = chip_run.summed
+        total = analysis.remote_dirty_fraction(summed)
+        os_part = analysis.remote_dirty_fraction(summed, os_only=True)
+        table.add_row(
+            Workload=spec.display_name,
+            Group=spec.group,
+            Application=total - os_part,
+            OS=os_part,
+        )
+    return table
+
+
+def total_sharing(table: ExperimentTable, workload: str) -> float:
+    """Total (application + OS) remote-dirty reference fraction."""
+    row = table.row_for("Workload", workload)
+    return float(row["Application"]) + float(row["OS"])

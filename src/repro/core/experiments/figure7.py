@@ -1,0 +1,49 @@
+"""Figure 7: off-chip memory bandwidth utilization.
+
+Average per-core off-chip bandwidth consumed, as a percentage of the
+available per-core share of the memory channels, split Application/OS.
+Scale-out workloads use a small fraction of the provisioned bandwidth —
+Media Streaming, the heaviest, peaks around 15 % — because their low
+MLP cannot generate enough concurrent off-chip accesses (§4.4).
+"""
+
+from __future__ import annotations
+
+from repro.core.report import ExperimentTable
+from repro.core.runner import RunConfig, run_workload_members
+from repro.core.workloads import ALL_WORKLOADS
+
+
+def run(config: RunConfig | None = None, active_cores: int = 4) -> ExperimentTable:
+    """Build the Figure 7 bandwidth-utilization table."""
+    config = config or RunConfig()
+    table = ExperimentTable(
+        title=(
+            "Figure 7. Average off-chip memory bandwidth utilization as "
+            "a percentage of available per-core off-chip bandwidth."
+        ),
+        columns=["Workload", "Group", "Application", "OS"],
+    )
+    for spec in ALL_WORKLOADS:
+        runs = run_workload_members(spec.name, config)
+        totals = [run.bandwidth_utilization(active_cores) for run in runs]
+        os_fracs = [run.os_bandwidth_fraction() for run in runs]
+        total = sum(totals) / len(totals)
+        os_part = sum(t * f for t, f in zip(totals, os_fracs)) / len(totals)
+        table.add_row(
+            Workload=spec.display_name,
+            Group=spec.group,
+            Application=total - os_part,
+            OS=os_part,
+        )
+    table.notes.append(
+        "utilization is relative to the per-core share of the 32 GB/s "
+        "channels across the four active cores (§3.1, §4.4)"
+    )
+    return table
+
+
+def total_utilization(table: ExperimentTable, workload: str) -> float:
+    """Total (application + OS) per-core bandwidth utilization."""
+    row = table.row_for("Workload", workload)
+    return float(row["Application"]) + float(row["OS"])

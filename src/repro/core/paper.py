@@ -1,0 +1,263 @@
+"""The paper's claims, as code.
+
+Each qualitative claim of §4 is encoded as a :class:`Claim` with a
+predicate over the regenerated tables.  ``verify()`` reproduces every
+figure once and reports claim-by-claim verdicts — EXPERIMENTS.md,
+regenerated programmatically (``python -m repro verify``).
+
+Two claims are marked ``expected="partial"``: the Figure 5 pollution
+sign flip and the Figure 3 SMT-MLP doubling, the documented deviations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.experiments import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+from repro.core.report import ExperimentTable
+from repro.core.runner import RunConfig
+from repro.core.workloads import SCALE_OUT
+
+_SCALE_OUT = [spec.display_name for spec in SCALE_OUT]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One checkable statement from the paper's evaluation."""
+
+    figure: str
+    text: str
+    check: Callable[[dict[str, ExperimentTable]], bool]
+    expected: str = "holds"  # or "partial" for documented deviations
+
+
+def _fig1_scale_out_stalled(tables) -> bool:
+    table = tables["figure1"]
+    return all(figure1.stalled_fraction(table, name) > 0.5
+               for name in _SCALE_OUT)
+
+
+def _fig1_memory_dominates(tables) -> bool:
+    table = tables["figure1"]
+    heavy = sum(
+        1 for name in _SCALE_OUT
+        if float(table.row_for("Workload", name)["Memory"])
+        > 0.5 * figure1.stalled_fraction(table, name)
+    )
+    return heavy >= 4
+
+
+def _fig1_cpu_groups_stall_less(tables) -> bool:
+    table = tables["figure1"]
+    return all(figure1.stalled_fraction(table, name) < 0.6
+               for name in ("PARSEC (cpu)", "SPECint (cpu)"))
+
+
+def _fig1_tpcc_over_80(tables) -> bool:
+    return figure1.stalled_fraction(tables["figure1"], "TPC-C") > 0.8
+
+
+def _fig2_order_of_magnitude(tables) -> bool:
+    table = tables["figure2"]
+    desktop = max(figure2.total_l1i_mpki(table, n)
+                  for n in ("PARSEC (cpu)", "SPECint (cpu)"))
+    return all(
+        figure2.total_l1i_mpki(table, name) > 10 * max(desktop, 0.2)
+        for name in ("Data Serving", "Media Streaming", "Web Search")
+    )
+
+
+def _fig2_os_smaller_than_server(tables) -> bool:
+    table = tables["figure2"]
+    specweb_os = float(table.row_for("Workload", "SPECweb09")["L1-I (OS)"])
+    scale_out_os = max(
+        float(table.row_for("Workload", n)["L1-I (OS)"])
+        for n in ("Data Serving", "Media Streaming", "Web Search")
+    )
+    return specweb_os > 0.9 * scale_out_os
+
+
+def _fig3_modest_ipc(tables) -> bool:
+    table = tables["figure3"]
+    return all(
+        0.15 < float(table.row_for("Workload", n)["IPC"]) < 1.3
+        for n in _SCALE_OUT
+    )
+
+
+def _fig3_low_mlp_wf_lowest(tables) -> bool:
+    table = tables["figure3"]
+    mlps = {n: float(table.row_for("Workload", n)["MLP"]) for n in _SCALE_OUT}
+    return max(mlps.values()) < 4.0 and min(mlps, key=mlps.get) == "Web Frontend"
+
+
+def _fig3_smt_gains(tables) -> bool:
+    table = tables["figure3"]
+    return all(figure3.smt_ipc_gain(table, n) > 0.3 for n in _SCALE_OUT)
+
+
+def _fig3_smt_doubles_mlp(tables) -> bool:
+    table = tables["figure3"]
+    return all(
+        float(table.row_for("Workload", n)["MLP (SMT)"])
+        > 1.7 * float(table.row_for("Workload", n)["MLP"])
+        for n in _SCALE_OUT
+    )
+
+
+def _fig4_flat_above_6mb(tables) -> bool:
+    table = tables["figure4"]
+    return all(
+        float(table.row_for("Cache size (MB)", size)["Scale-out"]) > 0.88
+        for size in (6, 8, 10, 11)
+        if any(row["Cache size (MB)"] == size for row in table.rows)
+    )
+
+
+def _fig4_mcf_scales(tables) -> bool:
+    table = tables["figure4"]
+    mcf = [float(v) for v in table.column("SPECint (mcf)")]
+    return mcf[-1] / mcf[0] > 1.12
+
+
+def _fig5_desktop_needs_prefetchers(tables) -> bool:
+    table = tables["figure5"]
+    return all(
+        float(table.row_for("Workload", n)["Baseline (all enabled)"])
+        - float(table.row_for("Workload", n)["HW prefetcher (disabled)"])
+        > 0.1
+        for n in ("PARSEC (mem)", "SPECint (mem)")
+    )
+
+
+def _fig5_mapreduce_benefits(tables) -> bool:
+    return figure5.prefetcher_benefit(tables["figure5"], "MapReduce") > 0.04
+
+
+def _fig5_pollution_flip(tables) -> bool:
+    table = tables["figure5"]
+    return all(
+        figure5.prefetcher_benefit(table, n) < 0.0
+        for n in ("Media Streaming", "SAT Solver")
+    )
+
+
+def _fig6_scale_out_minimal(tables) -> bool:
+    table = tables["figure6"]
+    return all(
+        figure6.total_sharing(table, n) < 0.04
+        for n in ("MapReduce", "SAT Solver", "Web Search", "Web Frontend")
+    )
+
+
+def _fig6_oltp_highest(tables) -> bool:
+    table = tables["figure6"]
+    oltp = max(figure6.total_sharing(table, n)
+               for n in ("TPC-C", "TPC-E", "Web Backend"))
+    scale_out = max(figure6.total_sharing(table, n) for n in _SCALE_OUT)
+    return oltp > 0.03 and oltp > scale_out
+
+
+def _fig7_scale_out_low(tables) -> bool:
+    table = tables["figure7"]
+    return all(figure7.total_utilization(table, n) < 0.3 for n in _SCALE_OUT)
+
+
+def _fig7_media_max(tables) -> bool:
+    table = tables["figure7"]
+    utils = {n: figure7.total_utilization(table, n) for n in _SCALE_OUT}
+    return max(utils, key=utils.get) == "Media Streaming"
+
+
+CLAIMS: list[Claim] = [
+    Claim("figure1", "Scale-out workloads stall for most of their cycles",
+          _fig1_scale_out_stalled),
+    Claim("figure1", "Those stalls are predominantly memory stalls",
+          _fig1_memory_dominates),
+    Claim("figure1", "cpu-intensive desktop/parallel stall well under the "
+          "scale-out level", _fig1_cpu_groups_stall_less),
+    Claim("figure1", "TPC-C is stalled over 80% of the time",
+          _fig1_tpcc_over_80),
+    Claim("figure2", "Scale-out instruction MPKI is an order of magnitude "
+          "above desktop/parallel", _fig2_order_of_magnitude),
+    Claim("figure2", "Scale-out OS instruction working sets are smaller "
+          "than traditional server ones", _fig2_os_smaller_than_server),
+    Claim("figure3", "Scale-out IPC is modest despite the 4-wide core",
+          _fig3_modest_ipc),
+    Claim("figure3", "Scale-out MLP is low, with Web Frontend the lowest",
+          _fig3_low_mlp_wf_lowest),
+    Claim("figure3", "SMT improves scale-out IPC substantially (39-69%)",
+          _fig3_smt_gains),
+    Claim("figure3", "SMT nearly doubles exploited MLP",
+          _fig3_smt_doubles_mlp, expected="partial"),
+    Claim("figure4", "Scale-out performance is flat above 4-6 MB of LLC",
+          _fig4_flat_above_6mb),
+    Claim("figure4", "mcf keeps improving with LLC capacity",
+          _fig4_mcf_scales),
+    Claim("figure5", "Disabling prefetchers hurts desktop/parallel "
+          "benchmarks badly", _fig5_desktop_needs_prefetchers),
+    Claim("figure5", "MapReduce is the one scale-out workload that clearly "
+          "benefits from prefetching", _fig5_mapreduce_benefits),
+    Claim("figure5", "Media Streaming and SAT Solver improve when "
+          "prefetching is disabled", _fig5_pollution_flip,
+          expected="partial"),
+    Claim("figure6", "Scale-out read-write sharing is minimal",
+          _fig6_scale_out_minimal),
+    Claim("figure6", "Traditional OLTP shares the most",
+          _fig6_oltp_highest),
+    Claim("figure7", "Scale-out workloads use a small fraction of off-chip "
+          "bandwidth", _fig7_scale_out_low),
+    Claim("figure7", "Media Streaming is the scale-out bandwidth maximum",
+          _fig7_media_max),
+]
+
+_FIGURE_RUNNERS = {
+    "figure1": figure1.run,
+    "figure2": figure2.run,
+    "figure3": figure3.run,
+    "figure4": figure4.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "figure7": figure7.run,
+}
+
+
+def verify(config: RunConfig | None = None,
+           figures: list[str] | None = None) -> ExperimentTable:
+    """Regenerate the needed figures and check every claim against them.
+
+    Returns a table with one row per claim: its verdict (``holds`` /
+    ``deviates``) against what the reproduction expects (documented
+    deviations are expected to deviate)."""
+    config = config or RunConfig()
+    wanted = set(figures) if figures else set(_FIGURE_RUNNERS)
+    tables: dict[str, ExperimentTable] = {
+        name: _FIGURE_RUNNERS[name](config) for name in sorted(wanted)
+    }
+    report = ExperimentTable(
+        title="Verification: the paper's claims vs this reproduction.",
+        columns=["Figure", "Claim", "Verdict", "Expected", "OK"],
+    )
+    for claim in CLAIMS:
+        if claim.figure not in wanted:
+            continue
+        holds = bool(claim.check(tables))
+        verdict = "holds" if holds else "deviates"
+        expected_verdict = "holds" if claim.expected == "holds" else "deviates"
+        report.add_row(
+            Figure=claim.figure,
+            Claim=claim.text,
+            Verdict=verdict,
+            Expected=claim.expected,
+            OK="yes" if verdict == expected_verdict else "NO",
+        )
+    return report

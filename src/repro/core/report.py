@@ -1,0 +1,128 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentTable:
+    """A figure/table reproduced as rows of named columns."""
+
+    title: str
+    columns: list[str]
+    rows: list[dict[str, object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[object]:
+        return [row.get(name) for row in self.rows]
+
+    def row_for(self, key_column: str, key: object) -> dict[str, object]:
+        for row in self.rows:
+            if row.get(key_column) == key:
+                return row
+        raise KeyError(f"no row with {key_column}={key!r}")
+
+    def to_text(self) -> str:
+        def fmt(value: object) -> str:
+            if isinstance(value, float):
+                return f"{value:.3f}"
+            return str(value)
+
+        widths = {
+            column: max(
+                len(column),
+                *(len(fmt(row.get(column, ""))) for row in self.rows),
+            ) if self.rows else len(column)
+            for column in self.columns
+        }
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(column.ljust(widths[column]) for column in self.columns)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(
+                    fmt(row.get(column, "")).ljust(widths[column])
+                    for column in self.columns
+                )
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (for spreadsheets/plot scripts)."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow([row.get(column, "") for column in self.columns])
+        return buffer.getvalue()
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown table."""
+        def fmt(value: object) -> str:
+            if isinstance(value, float):
+                return f"{value:.3f}"
+            return str(value)
+
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append(
+                "| " + " | ".join(fmt(row.get(c, "")) for c in self.columns)
+                + " |"
+            )
+        for note in self.notes:
+            lines.append(f"\n*{note}*")
+        return "\n".join(lines)
+
+    def to_bars(self, label_column: str, value_columns: list[str] | None = None,
+                width: int = 40, scale_max: float | None = None) -> str:
+        """Render numeric columns as horizontal ASCII bars — the closest
+        a terminal gets to the paper's bar charts."""
+        if value_columns is None:
+            value_columns = [
+                column for column in self.columns
+                if column != label_column
+                and all(isinstance(row.get(column), (int, float))
+                        for row in self.rows)
+            ]
+        if not value_columns:
+            raise ValueError("no numeric columns to chart")
+        peak = scale_max
+        if peak is None:
+            peak = max(
+                (abs(float(row.get(column, 0.0) or 0.0))
+                 for row in self.rows for column in value_columns),
+                default=1.0,
+            ) or 1.0
+        label_width = max(
+            [len(str(row.get(label_column, ""))) for row in self.rows]
+            + [len(label_column)]
+        )
+        lines = [self.title, "=" * len(self.title)]
+        for row in self.rows:
+            label = str(row.get(label_column, ""))
+            for index, column in enumerate(value_columns):
+                value = float(row.get(column, 0.0) or 0.0)
+                filled = int(round(min(abs(value) / peak, 1.0) * width))
+                marker = "█" if index == 0 else "▒"
+                prefix = label if index == 0 else ""
+                lines.append(
+                    f"{prefix:<{label_width}} |{marker * filled:<{width}}| "
+                    f"{value:.3f} {column if len(value_columns) > 1 else ''}"
+                    .rstrip()
+                )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_text()

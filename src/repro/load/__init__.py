@@ -1,0 +1,22 @@
+"""Client load generators.
+
+The paper drives its servers with the YCSB client (Data Serving) and the
+Faban harness (Media Streaming, Web Frontend, Web Search).  This package
+provides equivalents: key/popularity distributions, a YCSB client with
+the paper's Zipfian 95:5 read/write mix, and a closed-loop multi-client
+driver in the style of Faban.
+"""
+
+from repro.load.distributions import ZipfGenerator, UniformGenerator, ScrambledZipf
+from repro.load.ycsb import YcsbClient, YcsbOp
+from repro.load.faban import FabanDriver, ClientSession
+
+__all__ = [
+    "ZipfGenerator",
+    "UniformGenerator",
+    "ScrambledZipf",
+    "YcsbClient",
+    "YcsbOp",
+    "FabanDriver",
+    "ClientSession",
+]

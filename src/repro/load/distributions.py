@@ -1,0 +1,93 @@
+"""Request-popularity distributions.
+
+YCSB's Zipfian generator (Gray et al.'s algorithm, as used by the real
+YCSB) with the standard 0.99 skew constant, plus a scrambled variant
+that spreads the popular items across the keyspace — matching how YCSB
+hashes item ranks so that hot keys are not physically adjacent.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+class UniformGenerator:
+    """Uniform over [0, n)."""
+
+    def __init__(self, n: int, seed: int = 0) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.n = n
+        self._rng = random.Random(seed)
+
+    def next(self) -> int:
+        return self._rng.randrange(self.n)
+
+
+class ZipfGenerator:
+    """Zipfian over [0, n) with P(rank k) proportional to 1/(k+1)^theta.
+
+    Implements the rejection-free inverse method of Gray et al. (the
+    algorithm YCSB itself uses), so draws are O(1).
+    """
+
+    def __init__(self, n: int, theta: float = 0.99, seed: int = 0) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if not 0 < theta < 1:
+            raise ValueError("theta must be in (0, 1)")
+        self.n = n
+        self.theta = theta
+        self._rng = random.Random(seed)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._zetan = self._zeta(n, theta)
+        self._zeta2 = self._zeta(min(2, n), theta)
+        denominator = 1.0 - self._zeta2 / self._zetan
+        if abs(denominator) < 1e-12:
+            # Degenerate keyspaces (n <= 2): the closed form collapses;
+            # eta only matters for ranks >= 2, which cannot occur.
+            self._eta = 0.0
+        else:
+            self._eta = (
+                1.0 - (2.0 / n) ** (1.0 - theta)
+            ) / denominator
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        # Direct sum for small n; Euler-Maclaurin approximation for large.
+        if n <= 10000:
+            return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+        head = sum(1.0 / (i ** theta) for i in range(1, 10001))
+        # integral approximation of the tail
+        tail = ((n ** (1.0 - theta)) - (10000 ** (1.0 - theta))) / (1.0 - theta)
+        return head + tail
+
+    def next(self) -> int:
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.n * math.pow(self._eta * u - self._eta + 1.0, self._alpha))
+
+
+class ScrambledZipf:
+    """Zipf ranks hashed over the keyspace (YCSB's scrambled Zipfian)."""
+
+    def __init__(self, n: int, theta: float = 0.99, seed: int = 0) -> None:
+        self.n = n
+        self._zipf = ZipfGenerator(n, theta, seed)
+
+    @staticmethod
+    def _fnv(value: int) -> int:
+        h = 0xCBF29CE484222325
+        for _ in range(8):
+            h ^= value & 0xFF
+            h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+            value >>= 8
+        return h
+
+    def next(self) -> int:
+        return self._fnv(self._zipf.next()) % self.n

@@ -1,0 +1,94 @@
+"""Faban-like closed-loop client driver (§3.2).
+
+The paper simulates Media Streaming, Web Frontend, and Web Search
+clients with the Faban harness.  This driver models a pool of concurrent
+client sessions; each session repeatedly issues the next operation of
+its scenario (chosen by the workload's operation mix) against the
+server under test.  Sessions are independent — exactly the "large
+numbers of completely independent requests" property of §2.2.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+
+@dataclass
+class ClientSession:
+    """One simulated client with per-session state the app can use."""
+
+    session_id: int
+    rng: random.Random
+    state: dict = field(default_factory=dict)
+
+
+class FabanDriver:
+    """Round-robin closed-loop driver over a pool of client sessions."""
+
+    def __init__(
+        self,
+        num_clients: int,
+        operations: Sequence[tuple[str, float]],
+        seed: int = 0,
+    ) -> None:
+        """``operations`` is a weighted mix of (operation name, weight)."""
+        if num_clients <= 0:
+            raise ValueError("need at least one client")
+        if not operations:
+            raise ValueError("need a non-empty operation mix")
+        total = sum(weight for _, weight in operations)
+        if total <= 0:
+            raise ValueError("operation weights must sum to a positive value")
+        self._ops = [name for name, _ in operations]
+        self._cdf: list[float] = []
+        acc = 0.0
+        for _, weight in operations:
+            acc += weight / total
+            self._cdf.append(acc)
+        self.sessions = [
+            ClientSession(i, random.Random((seed << 16) | i))
+            for i in range(num_clients)
+        ]
+        self._next_session = 0
+        self._partition_cursor: dict[tuple[int, int], int] = {}
+        self.issued: dict[str, int] = {name: 0 for name in self._ops}
+
+    def next_request(self, affinity: int | None = None,
+                     num_partitions: int = 4) -> tuple[ClientSession, str]:
+        """Pick the next session (round-robin) and its next operation.
+
+        With ``affinity`` set, only sessions of that partition are
+        served — connection-to-core affinity, as receive-side scaling
+        provides on the paper's NICs (§3)."""
+        if affinity is not None:
+            key = (affinity % num_partitions, num_partitions)
+            cursor = self._partition_cursor.get(key, key[0])
+            session = self.sessions[cursor % len(self.sessions)]
+            self._partition_cursor[key] = cursor + num_partitions
+            draw = session.rng.random()
+            for name, edge in zip(self._ops, self._cdf):
+                if draw <= edge:
+                    self.issued[name] += 1
+                    return session, name
+            self.issued[self._ops[-1]] += 1
+            return session, self._ops[-1]
+        session = self.sessions[self._next_session]
+        self._next_session = (self._next_session + 1) % len(self.sessions)
+        draw = session.rng.random()
+        for name, edge in zip(self._ops, self._cdf):
+            if draw <= edge:
+                self.issued[name] += 1
+                return session, name
+        self.issued[self._ops[-1]] += 1
+        return session, self._ops[-1]
+
+    def run(
+        self,
+        handler: Callable[[ClientSession, str], None],
+        num_requests: int,
+    ) -> None:
+        for _ in range(num_requests):
+            session, op = self.next_request()
+            handler(session, op)

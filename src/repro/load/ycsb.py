@@ -1,0 +1,56 @@
+"""YCSB client (§3.2 Data Serving setup).
+
+"Server load is generated using the YCSB 0.1.3 client that sends
+requests following a Zipfian distribution with a 95:5 read to write
+request ratio."  The client draws keys from a scrambled Zipfian over the
+loaded keyspace and emits read/update operations in that ratio.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.load.distributions import ScrambledZipf
+
+
+@dataclass(frozen=True)
+class YcsbOp:
+    kind: str  # 'read' or 'update'
+    key: int
+
+
+class YcsbClient:
+    """Closed-loop YCSB workload generator."""
+
+    def __init__(
+        self,
+        record_count: int,
+        read_fraction: float = 0.95,
+        theta: float = 0.99,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        self.record_count = record_count
+        self.read_fraction = read_fraction
+        self._keys = ScrambledZipf(record_count, theta, seed)
+        self._rng = random.Random(seed ^ 0x5EED)
+        self.reads_issued = 0
+        self.updates_issued = 0
+
+    def hot_keys(self, count: int) -> list[int]:
+        """The keys of the ``count`` most popular Zipf ranks (the hot set
+        a long steady-state run leaves resident in the LLC)."""
+        from repro.load.distributions import ScrambledZipf
+
+        count = min(count, self.record_count)
+        return [ScrambledZipf._fnv(rank) % self.record_count for rank in range(count)]
+
+    def next_op(self) -> YcsbOp:
+        key = self._keys.next()
+        if self._rng.random() < self.read_fraction:
+            self.reads_issued += 1
+            return YcsbOp("read", key)
+        self.updates_issued += 1
+        return YcsbOp("update", key)

@@ -1,0 +1,36 @@
+"""Traced abstract machine.
+
+The mini server applications in :mod:`repro.apps` are real programs —
+hash probes, B+-tree descents, unit propagation, posting-list merges —
+but their data structures live in a *simulated* address space and their
+execution is *traced*: every load, store, ALU burst, branch, call, and
+system call is emitted as a micro-op for the :mod:`repro.uarch` core.
+
+Components:
+
+* :class:`AddressSpace` — region-based allocator for simulated memory;
+* :class:`CodeLayout` / :class:`Function` — assigns PC ranges to app and
+  kernel functions so instruction-fetch behaviour (Figure 2) emerges
+  from which code actually runs;
+* :class:`Runtime` — the tracing API apps program against;
+* :class:`OsKernel` — network/storage/scheduler substrate emitting
+  OS-tagged micro-ops (the App/OS splits of Figures 1, 2, 6, 7).
+"""
+
+from repro.machine.address_space import AddressSpace, Region
+from repro.machine.codelayout import CodeLayout, Function
+from repro.machine.runtime import Runtime
+from repro.machine.os_model import OsKernel
+from repro.machine.structures import SimHashMap, SimArray, SimRingBuffer
+
+__all__ = [
+    "AddressSpace",
+    "Region",
+    "CodeLayout",
+    "Function",
+    "Runtime",
+    "OsKernel",
+    "SimHashMap",
+    "SimArray",
+    "SimRingBuffer",
+]

@@ -1,0 +1,100 @@
+"""Simulated address space.
+
+A bump allocator over named regions.  Only metadata is stored — an
+allocation is just a base address — so gigabyte-scale datasets cost no
+host memory.  Regions separate application heap, OS structures, I/O
+buffers, and stacks so that experiments can attribute traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Region:
+    """A contiguous simulated address range with bump allocation."""
+
+    name: str
+    base: int
+    size: int
+    cursor: int = 0
+
+    def alloc(self, nbytes: int, align: int = 8) -> int:
+        if nbytes < 0:
+            raise ValueError("negative allocation")
+        mask = align - 1
+        if align & mask:
+            raise ValueError(f"alignment {align} is not a power of two")
+        start = (self.cursor + mask) & ~mask
+        end = start + nbytes
+        if end > self.size:
+            raise MemoryError(
+                f"region {self.name!r} exhausted: "
+                f"{end} > {self.size} bytes ({nbytes} requested)"
+            )
+        self.cursor = end
+        return self.base + start
+
+    @property
+    def used(self) -> int:
+        return self.cursor
+
+
+# Region layout: generous, non-overlapping windows.
+_GIB = 1 << 30
+
+_REGION_PLAN = [
+    ("heap", 0x1_0000_0000, 64 * _GIB),  # application heap / datasets
+    ("os", 0x20_0000_0000, 8 * _GIB),  # kernel structures, page cache
+    ("io", 0x30_0000_0000, 8 * _GIB),  # NIC rings, DMA buffers
+    ("stack", 0x40_0000_0000, 1 * _GIB),  # thread stacks
+]
+
+
+_ASID_SHIFT = 44  # 16 TiB per address space — far beyond any region plan
+
+_default_asid = 0
+
+
+def set_default_asid(asid: int) -> None:
+    """Set the address-space id given to subsequently created spaces.
+
+    Distinct processes must not alias in the shared LLC/directory; the
+    runner bumps this before building each independent per-core app
+    instance (one-process-per-core workloads, §3.2/§3.3)."""
+    global _default_asid
+    _default_asid = asid
+
+
+class AddressSpace:
+    """One simulated process address space shared by a workload's threads."""
+
+    def __init__(self, asid: int | None = None) -> None:
+        self.asid = _default_asid if asid is None else asid
+        offset = self.asid << _ASID_SHIFT
+        self.regions: dict[str, Region] = {
+            name: Region(name, base + offset, size)
+            for name, base, size in _REGION_PLAN
+        }
+
+    def region(self, name: str) -> Region:
+        return self.regions[name]
+
+    def alloc(self, nbytes: int, region: str = "heap", align: int = 8) -> int:
+        """Allocate ``nbytes`` in ``region``; returns the base address."""
+        return self.regions[region].alloc(nbytes, align)
+
+    def alloc_lines(self, nlines: int, region: str = "heap") -> int:
+        """Allocate ``nlines`` cache lines, line-aligned."""
+        return self.alloc(nlines * 64, region, align=64)
+
+    def owner(self, addr: int) -> str | None:
+        """Which region contains ``addr`` (None if unmapped)."""
+        for region in self.regions.values():
+            if region.base <= addr < region.base + region.size:
+                return region.name
+        return None
+
+    def footprint(self) -> dict[str, int]:
+        return {name: region.used for name, region in self.regions.items()}

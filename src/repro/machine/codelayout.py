@@ -1,0 +1,106 @@
+"""Code layout: mapping functions to simulated PC ranges.
+
+Instruction-cache behaviour (Figure 2) is driven entirely by *which PCs
+execute*.  Every application/kernel function registers here and receives
+a contiguous PC range whose size reflects the amount of machine code the
+real counterpart executes — multi-hundred-KB paths for managed runtimes,
+interpreters, and the kernel network stack; a few KB for dense numeric
+kernels.
+
+Two code-locality classes model how compiled control flow walks a
+function body:
+
+* ``"loop"`` — execution repeatedly walks the same short region from the
+  entry (dense inner loops): a tiny resident I-footprint and highly
+  predictable branches.
+* ``"scatter"`` — execution enters at the top but then jumps between
+  basic blocks spread across the whole body (branchy request-handling
+  code, inlined library calls, interpreter dispatch): the I-footprint
+  is the full function and branch targets are hard to predict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+APP_CODE_BASE = 0x0040_0000
+OS_CODE_BASE = 0x8000_0000
+_CODE_WINDOW = 0x4000_0000  # 1 GB per code region — far beyond any footprint
+
+
+@dataclass(frozen=True)
+class Function:
+    """A function (or fused hot path) occupying [base, base+size) PCs."""
+
+    name: str
+    base: int
+    size: int
+    os: bool = False
+    locality: str = "scatter"  # 'loop' or 'scatter'
+    bb_mean: int = 8  # mean basic-block length in micro-ops
+    hot_fraction: float = 0.125  # share of the body holding the hot paths
+
+    def __post_init__(self) -> None:
+        if self.size < 64:
+            raise ValueError(f"function {self.name!r} smaller than a cache line")
+        if self.locality not in ("loop", "scatter"):
+            raise ValueError(f"unknown locality {self.locality!r}")
+
+
+class CodeLayout:
+    """Allocates PC ranges; one instance per workload."""
+
+    def __init__(self, asid: int | None = None) -> None:
+        from repro.machine.address_space import _default_asid, _ASID_SHIFT
+
+        self.asid = _default_asid if asid is None else asid
+        offset = self.asid << _ASID_SHIFT
+        self._app_base = APP_CODE_BASE + offset
+        self._os_base = OS_CODE_BASE + offset
+        self._app_cursor = self._app_base
+        self._os_cursor = self._os_base
+        self._functions: dict[str, Function] = {}
+
+    def function(
+        self,
+        name: str,
+        size: int,
+        os: bool = False,
+        locality: str = "scatter",
+        bb_mean: int = 8,
+        hot_fraction: float = 0.125,
+    ) -> Function:
+        """Register a function of ``size`` bytes of code."""
+        if name in self._functions:
+            raise ValueError(f"function {name!r} already registered")
+        if size < 64:
+            raise ValueError(f"function {name!r} smaller than a cache line")
+        size = (size + 63) & ~63  # line-align sizes
+        if os:
+            base = self._os_cursor
+            self._os_cursor += size
+            if self._os_cursor > self._os_base + _CODE_WINDOW:
+                raise MemoryError("OS code region exhausted")
+        else:
+            base = self._app_cursor
+            self._app_cursor += size
+            if self._app_cursor > self._app_base + _CODE_WINDOW:
+                raise MemoryError("application code region exhausted")
+        fn = Function(name, base, size, os, locality, bb_mean, hot_fraction)
+        self._functions[name] = fn
+        return fn
+
+    def get(self, name: str) -> Function:
+        return self._functions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def app_code_bytes(self) -> int:
+        return self._app_cursor - self._app_base
+
+    def os_code_bytes(self) -> int:
+        return self._os_cursor - self._os_base
+
+    def functions(self) -> list[Function]:
+        return list(self._functions.values())

@@ -1,0 +1,321 @@
+"""Operating-system substrate.
+
+Scale-out workloads spend a significant share of their time in the
+kernel (Figure 1's OS components), almost all of it in the network
+subsystem (§4.4: "OS-level data sharing is dominated by the network
+subsystem").  This module models the kernel paths the workloads
+exercise:
+
+* a TCP/IP send/receive path with real payload copies between user
+  buffers and a rotating skb pool, per-packet header work, and NIC ring
+  updates (the ring indices and socket table are *shared* kernel
+  structures — the source of OS read-write sharing in Figure 6);
+* a VFS + page-cache + block path whose backing store is the paper's
+  iSCSI RAM-disk rig (§3.4): misses cost kernel instructions and DMA
+  fills, never a disk-latency stall;
+* a scheduler/context-switch path.
+
+Kernel functions get code footprints in the OS PC region sized like the
+corresponding Linux paths, so OS instruction-miss behaviour (Figure 2's
+OS bars) emerges from which paths a workload drives.
+"""
+
+from __future__ import annotations
+
+from repro.machine.address_space import AddressSpace
+from repro.machine.codelayout import CodeLayout, Function
+from repro.machine.runtime import Runtime
+
+_LINE = 64
+_MSS = 1448  # TCP payload per packet
+_PAGE = 4096
+
+_KERNEL_CODE_PLAN: list[tuple[str, int, str, int]] = [
+    # (name, code bytes, locality, mean basic-block length)
+    ("sys_entry", 8 * 1024, "loop", 10),
+    ("sock_syscall", 48 * 1024, "scatter", 8),
+    ("tcp_tx", 160 * 1024, "scatter", 8),
+    ("tcp_rx", 160 * 1024, "scatter", 8),
+    ("ip_stack", 96 * 1024, "scatter", 8),
+    ("nic_driver", 80 * 1024, "scatter", 9),
+    ("softirq", 48 * 1024, "scatter", 8),
+    ("vfs", 112 * 1024, "scatter", 8),
+    ("page_cache", 64 * 1024, "scatter", 9),
+    ("block_layer", 96 * 1024, "scatter", 8),
+    ("iscsi_initiator", 64 * 1024, "scatter", 8),
+    ("scheduler", 72 * 1024, "scatter", 9),
+    ("copy_routines", 8 * 1024, "loop", 12),
+]
+
+
+class OsKernel:
+    """Kernel substrate shared by all threads of a workload."""
+
+    def __init__(self, space: AddressSpace, layout: CodeLayout, skb_pool: int = 256) -> None:
+        self.space = space
+        self.layout = layout
+        self.fns: dict[str, Function] = {
+            name: layout.function(f"kernel.{name}", size, os=True,
+                                  locality=locality, bb_mean=bb)
+            for name, size, locality, bb in _KERNEL_CODE_PLAN
+        }
+        # Shared kernel data structures (written by every core).
+        self.sock_table = space.alloc(64 * 1024, "os", align=_LINE)
+        self.tx_ring = space.alloc(skb_pool * 16, "io", align=_LINE)
+        self.rx_ring = space.alloc(skb_pool * 16, "io", align=_LINE)
+        self.stats_block = space.alloc(4 * _LINE, "os", align=_LINE)
+        # Rotating skb pool: big enough that payload staging misses caches.
+        self._skb_pool_base = space.alloc(skb_pool * 2048, "io", align=_LINE)
+        self._skb_pool_slots = skb_pool
+        self._skb_next = 0
+        self._tx_index = 0
+        self._rx_index = 0
+        # Page cache: file_id -> {page_number: simulated page address},
+        # bounded like the real thing — the LRU page is reclaimed (its
+        # simulated frame recycled) when the cache is full.
+        self._page_cache: dict[int, dict[int, int]] = {}
+        self._page_lru: dict[tuple[int, int], None] = {}
+        self._free_frames: list[int] = []
+        self.page_cache_capacity = 32_768  # 128 MB of cached file data
+        self.pages_cached = 0
+        self.pages_evicted = 0
+        self.page_cache_hits = 0
+        self.page_cache_misses = 0
+        self.packets_sent = 0
+        self.packets_received = 0
+
+    def warm_ranges(self) -> list[tuple[int, int]]:
+        """Kernel structures resident at steady state (skb slab, rings,
+        socket table) — installed by the functional warmup."""
+        return [
+            (self._skb_pool_base, self._skb_pool_slots * 2048),
+            (self.tx_ring, self._skb_pool_slots * 16),
+            (self.rx_ring, self._skb_pool_slots * 16),
+            (self.sock_table, 64 * 1024),
+            (self.stats_block, 4 * _LINE),
+        ]
+
+    # -- internals ---------------------------------------------------------
+    NUM_QUEUES = 4  # multi-queue NIC with RSS (§3: Broadcom server NICs)
+
+    def _next_skb(self, tid: int = 0) -> int:
+        """Per-CPU skb slab slot: cores recycle their own buffers."""
+        queue = tid % self.NUM_QUEUES
+        per_queue = max(1, self._skb_pool_slots // self.NUM_QUEUES)
+        index = self._skb_next
+        self._skb_next += 1
+        slot = queue * per_queue + (index % per_queue)
+        return self._skb_pool_base + slot * 2048
+
+    def _queue_base(self, ring: int, tid: int) -> int:
+        """Per-queue descriptor region of a multi-queue NIC ring."""
+        per_queue = max(_LINE * 4, (self._skb_pool_slots * 16) // self.NUM_QUEUES)
+        return ring + (tid % self.NUM_QUEUES) * per_queue
+
+    def _socket_entry(self, sock_id: int) -> int:
+        return self.sock_table + (sock_id % 1024) * _LINE
+
+    def _tx_descriptor(self, rt: Runtime) -> None:
+        """Post a TX descriptor and bump this queue's producer index."""
+        base = self._queue_base(self.tx_ring, rt.tid)
+        slot = rt.store(base + _LINE + (self._tx_index % 14) * 16)
+        rt.store(base, (slot,))  # per-queue producer index
+        self._tx_index += 1
+
+    def _rx_descriptor(self, rt: Runtime) -> int:
+        base = self._queue_base(self.rx_ring, rt.tid)
+        token = rt.load(base + _LINE + (self._rx_index % 14) * 16)
+        rt.store(base, (token,))  # per-queue consumer index
+        self._rx_index += 1
+        return token
+
+    def _bump_stats(self, rt: Runtime) -> None:
+        """Global protocol counters, updated in batches (per-CPU counters
+        fold into the shared SNMP block periodically)."""
+        if (self.packets_sent + self.packets_received) % 16 == 0:
+            token = rt.load(self.stats_block)
+            rt.store(self.stats_block, (token,))
+
+    # -- network -----------------------------------------------------------
+    def send(self, rt: Runtime, nbytes: int, payload_base: int | None = None,
+             sock_id: int = 0) -> None:
+        """``write()`` on a socket: syscall, TCP segmentation, copies, NIC."""
+        with rt.frame(self.fns["sys_entry"]):
+            rt.alu(n=4)
+        with rt.frame(self.fns["sock_syscall"]):
+            sock = rt.load(self._socket_entry(sock_id))
+            rt.alu((sock,), n=3)
+            remaining = nbytes
+            seg_offset = 0
+            while remaining > 0:
+                seg = min(remaining, _MSS)
+                skb = self._next_skb(rt.tid)
+                with rt.frame(self.fns["tcp_tx"]):
+                    rt.alu((sock,), n=6)  # header construction, cwnd checks
+                    rt.store(self._socket_entry(sock_id), (sock,))
+                    with rt.frame(self.fns["copy_routines"]):
+                        if payload_base is not None:
+                            rt.copy(payload_base + seg_offset, skb, seg)
+                        else:
+                            rt.scan(skb, seg, write=True, work_per_line=0)
+                    with rt.frame(self.fns["ip_stack"]):
+                        rt.alu(n=8)
+                        rt.store(skb)  # prepend headers
+                with rt.frame(self.fns["nic_driver"]):
+                    self._tx_descriptor(rt)
+                self.packets_sent += 1
+                remaining -= seg
+                seg_offset += seg
+            self._bump_stats(rt)
+
+    def sendfile(self, rt: Runtime, nbytes: int, sock_id: int = 0) -> None:
+        """Zero-copy send (``sendfile()``): per-segment protocol work and
+        descriptor posting only — the NIC DMAs the payload straight out
+        of the page cache, so the CPU never touches the bytes."""
+        with rt.frame(self.fns["sys_entry"]):
+            rt.alu(n=4)
+        with rt.frame(self.fns["sock_syscall"]):
+            sock = rt.load(self._socket_entry(sock_id))
+            rt.alu((sock,), n=3)
+            remaining = nbytes
+            while remaining > 0:
+                seg = min(remaining, _MSS)
+                with rt.frame(self.fns["tcp_tx"]):
+                    rt.alu((sock,), n=8)
+                    rt.store(self._socket_entry(sock_id), (sock,))
+                    with rt.frame(self.fns["ip_stack"]):
+                        rt.alu(n=8)
+                with rt.frame(self.fns["nic_driver"]):
+                    self._tx_descriptor(rt)
+                self.packets_sent += 1
+                remaining -= seg
+            self._bump_stats(rt)
+
+    def recv(self, rt: Runtime, nbytes: int, into_base: int | None = None,
+             sock_id: int = 0) -> None:
+        """Receive path: softirq + driver + TCP + copy-to-user."""
+        with rt.frame(self.fns["softirq"]):
+            rt.alu(n=4)
+            with rt.frame(self.fns["nic_driver"]):
+                self._rx_descriptor(rt)
+        remaining = nbytes
+        offset = 0
+        with rt.frame(self.fns["sock_syscall"]):
+            sock = rt.load(self._socket_entry(sock_id))
+            while remaining > 0:
+                seg = min(remaining, _MSS)
+                skb = self._next_skb(rt.tid)
+                with rt.frame(self.fns["tcp_rx"]):
+                    rt.alu((sock,), n=6)
+                    rt.store(self._socket_entry(sock_id), (sock,))
+                    with rt.frame(self.fns["copy_routines"]):
+                        if into_base is not None:
+                            rt.copy(skb, into_base + offset, seg)
+                        else:
+                            rt.scan(skb, seg, write=False, work_per_line=0)
+                remaining -= seg
+                offset += seg
+                self.packets_received += 1
+            self._bump_stats(rt)
+
+    # -- storage (iSCSI RAM-disk, §3.4) -------------------------------------
+    def read_file(self, rt: Runtime, file_id: int, offset: int, nbytes: int,
+                  into_base: int | None = None) -> list[int]:
+        """VFS read through the page cache; misses go to the RAM-disk.
+
+        Returns the simulated page addresses covering the range (apps use
+        them to address file contents directly, mmap-style)."""
+        pages = self._page_cache.setdefault(file_id, {})
+        first = offset // _PAGE
+        last = (offset + max(nbytes, 1) - 1) // _PAGE
+        result: list[int] = []
+        with rt.frame(self.fns["sys_entry"]):
+            rt.alu(n=4)
+        with rt.frame(self.fns["vfs"]):
+            rt.alu(n=6)
+            for page_number in range(first, last + 1):
+                with rt.frame(self.fns["page_cache"]):
+                    tag = rt.alu(n=2)
+                    page_addr = pages.get(page_number)
+                    if page_addr is None:
+                        self.page_cache_misses += 1
+                        page_addr = self._claim_frame()
+                        pages[page_number] = page_addr
+                        self._page_lru[(file_id, page_number)] = None
+                        self.pages_cached += 1
+                        # Block path + iSCSI over the NIC: kernel work plus
+                        # the DMA fill of the page (stores by the driver).
+                        with rt.frame(self.fns["block_layer"]):
+                            rt.alu((tag,), n=10)
+                        with rt.frame(self.fns["iscsi_initiator"]):
+                            rt.alu(n=8)
+                            with rt.frame(self.fns["nic_driver"]):
+                                # The page itself arrives by NIC DMA — no
+                                # CPU stores; its lines are simply cold
+                                # when the CPU first reads them.
+                                self._rx_descriptor(rt)
+                                rt.alu(n=6)
+                    else:
+                        self.page_cache_hits += 1
+                        key = (file_id, page_number)
+                        if key in self._page_lru:  # refresh recency
+                            del self._page_lru[key]
+                            self._page_lru[key] = None
+                        rt.load(page_addr, (tag,))
+                    result.append(page_addr)
+            if into_base is not None:
+                with rt.frame(self.fns["copy_routines"]):
+                    copied = 0
+                    for page_addr in result:
+                        take = min(_PAGE, nbytes - copied)
+                        if take <= 0:
+                            break
+                        rt.copy(page_addr, into_base + copied, take)
+                        copied += take
+        return result
+
+    def _claim_frame(self) -> int:
+        """A free page frame, reclaiming the LRU cached page if needed."""
+        if self._free_frames:
+            return self._free_frames.pop()
+        if len(self._page_lru) >= self.page_cache_capacity:
+            (old_file, old_page), _ = next(iter(self._page_lru.items()))
+            del self._page_lru[(old_file, old_page)]
+            frame = self._page_cache[old_file].pop(old_page)
+            self.pages_evicted += 1
+            return frame
+        return self.space.alloc(_PAGE, "os", align=_PAGE)
+
+    def file_cached(self, file_id: int, offset: int) -> bool:
+        return offset // _PAGE in self._page_cache.get(file_id, {})
+
+    def log_write(self, rt: Runtime, nbytes: int, payload_base: int | None = None) -> None:
+        """Synchronous log write (fsync) through the block + iSCSI path.
+
+        The RAM-disk rig absorbs the latency; the kernel instructions and
+        the payload copy remain, as in the paper's I/O setup (§3.4)."""
+        with rt.frame(self.fns["sys_entry"]):
+            rt.alu(n=4)
+        with rt.frame(self.fns["vfs"]):
+            rt.alu(n=8)
+            with rt.frame(self.fns["block_layer"]):
+                rt.alu(n=12)
+                with rt.frame(self.fns["copy_routines"]):
+                    skb = self._next_skb(rt.tid)
+                    if payload_base is not None:
+                        rt.copy(payload_base, skb, min(nbytes, 2048))
+                    else:
+                        rt.scan(skb, min(nbytes, 2048), write=True, work_per_line=0)
+            with rt.frame(self.fns["iscsi_initiator"]):
+                rt.alu(n=10)
+                with rt.frame(self.fns["nic_driver"]):
+                    self._tx_descriptor(rt)
+
+    # -- scheduling ----------------------------------------------------------
+    def context_switch(self, rt: Runtime) -> None:
+        """Scheduler pass + register/stack state save/restore."""
+        with rt.frame(self.fns["scheduler"]):
+            rt.alu(n=12)
+            run_queue = self.sock_table  # reuse a shared kernel line
+            token = rt.load(run_queue)
+            rt.store(run_queue, (token,))

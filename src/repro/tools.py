@@ -1,0 +1,113 @@
+"""Developer tools: trace inspection and counter dumps.
+
+``dump_trace`` materializes a slice of a workload's micro-op stream in a
+human/script-readable form — useful for understanding why a workload
+behaves the way it does (which functions dominate, how dependent its
+loads are, how much of the stream is OS code) without running the
+simulator at all.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+from repro.core.workloads import build_app
+from repro.uarch.uop import MicroOp, OpKind
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate statistics over a dumped trace slice."""
+
+    total: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    alu: int = 0
+    os_ops: int = 0
+    dependent_loads: int = 0
+    distinct_code_lines: int = 0
+    distinct_data_lines: int = 0
+
+    @property
+    def memory_fraction(self) -> float:
+        return (self.loads + self.stores) / self.total if self.total else 0.0
+
+    @property
+    def os_fraction(self) -> float:
+        return self.os_ops / self.total if self.total else 0.0
+
+
+_KIND_NAMES = {
+    OpKind.ALU: "alu",
+    OpKind.LOAD: "load",
+    OpKind.STORE: "store",
+    OpKind.BRANCH: "branch",
+}
+
+
+def format_uop(uop: MicroOp) -> str:
+    """One line per micro-op: seq kind pc [addr] [deps] [os]."""
+    parts = [f"{uop.seq:>8}", f"{_KIND_NAMES[OpKind(uop.kind)]:<6}",
+             f"pc={uop.pc:#012x}"]
+    if uop.is_memory():
+        parts.append(f"addr={uop.addr:#014x}")
+    if uop.deps:
+        parts.append(f"deps={','.join(str(d) for d in uop.deps)}")
+    if uop.kind == OpKind.BRANCH:
+        parts.append("taken" if uop.taken else "not-taken")
+    if uop.is_os:
+        parts.append("os")
+    return " ".join(parts)
+
+
+def summarize(uops) -> TraceSummary:
+    """Aggregate a micro-op iterable into a TraceSummary."""
+    summary = TraceSummary()
+    code_lines: set[int] = set()
+    data_lines: set[int] = set()
+    for uop in uops:
+        summary.total += 1
+        code_lines.add(uop.pc >> 6)
+        if uop.kind == OpKind.LOAD:
+            summary.loads += 1
+            data_lines.add(uop.addr >> 6)
+            if uop.deps:
+                summary.dependent_loads += 1
+        elif uop.kind == OpKind.STORE:
+            summary.stores += 1
+            data_lines.add(uop.addr >> 6)
+        elif uop.kind == OpKind.BRANCH:
+            summary.branches += 1
+        else:
+            summary.alu += 1
+        if uop.is_os:
+            summary.os_ops += 1
+    summary.distinct_code_lines = len(code_lines)
+    summary.distinct_data_lines = len(data_lines)
+    return summary
+
+
+def dump_trace(workload: str, num_uops: int = 2_000, seed: int = 7,
+               include_listing: bool = True) -> tuple[str, TraceSummary]:
+    """Build a workload and dump ``num_uops`` of its trace.
+
+    Returns (text, summary); the text ends with the summary block."""
+    app = build_app(workload, seed=seed)
+    uops = list(app.trace(0, num_uops))
+    summary = summarize(uops)
+    out = io.StringIO()
+    if include_listing:
+        for uop in uops:
+            out.write(format_uop(uop))
+            out.write("\n")
+    out.write(f"# workload={workload} uops={summary.total}\n")
+    out.write(f"# loads={summary.loads} stores={summary.stores} "
+              f"branches={summary.branches} alu={summary.alu}\n")
+    out.write(f"# memory_fraction={summary.memory_fraction:.3f} "
+              f"os_fraction={summary.os_fraction:.3f}\n")
+    out.write(f"# dependent_loads={summary.dependent_loads} "
+              f"code_lines={summary.distinct_code_lines} "
+              f"data_lines={summary.distinct_data_lines}\n")
+    return out.getvalue(), summary

@@ -1,0 +1,202 @@
+"""Set-associative cache with LRU replacement and per-class statistics.
+
+The implementation favours simulation speed: each set is a plain dict
+keyed by tag (Python dicts preserve insertion order, so popping and
+re-inserting a key implements LRU move-to-front in O(1)).  Per-line
+metadata (dirty, prefetched-and-not-yet-used) is the dict value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.uarch.params import CacheParams
+
+
+@dataclass
+class CacheStats:
+    """Demand/prefetch access counters, split instruction/data and App/OS."""
+
+    demand_hits: int = 0
+    demand_misses: int = 0
+    inst_hits: int = 0
+    inst_misses: int = 0
+    os_inst_hits: int = 0
+    os_inst_misses: int = 0
+    data_hits: int = 0
+    data_misses: int = 0
+    os_data_hits: int = 0
+    os_data_misses: int = 0
+    prefetch_issued: int = 0
+    prefetch_useful: int = 0
+    prefetch_unused_evicted: int = 0
+    writebacks: int = 0
+
+    @property
+    def demand_accesses(self) -> int:
+        return self.demand_hits + self.demand_misses
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.demand_accesses
+        return self.demand_hits / total if total else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+@dataclass
+class LineState:
+    """Metadata stored with each resident line."""
+
+    dirty: bool = False
+    prefetched: bool = False  # brought in by a prefetcher, not yet demanded
+    pf_penalty: int = 0  # residual latency if demanded before fully fetched
+
+
+@dataclass
+class EvictedLine:
+    addr: int
+    dirty: bool
+    was_unused_prefetch: bool
+
+
+class Cache:
+    """One cache level.  Addresses are byte addresses; lines are aligned."""
+
+    def __init__(self, name: str, params: CacheParams) -> None:
+        self.name = name
+        self.params = params
+        self.line_bytes = params.line_bytes
+        self._line_shift = params.line_bytes.bit_length() - 1
+        self.num_sets = params.num_sets
+        self.assoc = params.assoc
+        self.latency = params.latency
+        self._sets: list[dict[int, LineState]] = [dict() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+        # Residual latency charged by the last demand hit that consumed a
+        # still-in-flight prefetch (read by the hierarchy after access()).
+        self.consumed_pf_penalty = 0
+
+    # -- address helpers -------------------------------------------------
+    def line_addr(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def _set_index(self, line: int) -> int:
+        return line % self.num_sets
+
+    # -- queries ----------------------------------------------------------
+    def contains(self, addr: int) -> bool:
+        line = self.line_addr(addr)
+        return line in self._sets[self._set_index(line)]
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    # -- operations --------------------------------------------------------
+    def access(
+        self,
+        addr: int,
+        is_write: bool = False,
+        is_instr: bool = False,
+        is_os: bool = False,
+    ) -> bool:
+        """Demand access.  Returns True on hit.  Does not fill on miss —
+        the hierarchy decides fill policy via :meth:`fill`."""
+        line = self.line_addr(addr)
+        cset = self._sets[self._set_index(line)]
+        state = cset.get(line)
+        stats = self.stats
+        self.consumed_pf_penalty = 0
+        if state is not None:
+            # LRU bump: re-insert at the most-recently-used position.
+            del cset[line]
+            cset[line] = state
+            if state.prefetched:
+                state.prefetched = False
+                stats.prefetch_useful += 1
+                # A late prefetch: the demand arrives while the fill is
+                # still in flight and pays part of the source latency.
+                self.consumed_pf_penalty = state.pf_penalty
+                state.pf_penalty = 0
+            if is_write:
+                state.dirty = True
+            stats.demand_hits += 1
+            if is_instr:
+                stats.inst_hits += 1
+                if is_os:
+                    stats.os_inst_hits += 1
+            else:
+                stats.data_hits += 1
+                if is_os:
+                    stats.os_data_hits += 1
+            return True
+        stats.demand_misses += 1
+        if is_instr:
+            stats.inst_misses += 1
+            if is_os:
+                stats.os_inst_misses += 1
+        else:
+            stats.data_misses += 1
+            if is_os:
+                stats.os_data_misses += 1
+        return False
+
+    def fill(
+        self,
+        addr: int,
+        dirty: bool = False,
+        prefetched: bool = False,
+        pf_penalty: int = 0,
+    ) -> EvictedLine | None:
+        """Install a line, evicting the LRU line of its set if needed.
+
+        Returns the evicted line (for writeback propagation) or None.
+        """
+        line = self.line_addr(addr)
+        cset = self._sets[self._set_index(line)]
+        existing = cset.get(line)
+        if existing is not None:
+            existing.dirty = existing.dirty or dirty
+            if not prefetched:
+                existing.prefetched = False
+                existing.pf_penalty = 0
+            return None
+        victim = None
+        if len(cset) >= self.assoc:
+            old_line, old_state = next(iter(cset.items()))
+            del cset[old_line]
+            if old_state.dirty:
+                self.stats.writebacks += 1
+            if old_state.prefetched:
+                self.stats.prefetch_unused_evicted += 1
+            victim = EvictedLine(
+                addr=old_line << self._line_shift,
+                dirty=old_state.dirty,
+                was_unused_prefetch=old_state.prefetched,
+            )
+        cset[line] = LineState(dirty=dirty, prefetched=prefetched,
+                               pf_penalty=pf_penalty)
+        if prefetched:
+            self.stats.prefetch_issued += 1
+        return victim
+
+    def peek_state(self, addr: int) -> LineState | None:
+        """Inspect a line's metadata without touching LRU or stats."""
+        line = self.line_addr(addr)
+        return self._sets[self._set_index(line)].get(line)
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop a line if resident (used by the coherence model)."""
+        line = self.line_addr(addr)
+        cset = self._sets[self._set_index(line)]
+        return cset.pop(line, None) is not None
+
+    def flush(self) -> None:
+        for cset in self._sets:
+            cset.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kb = self.params.size_bytes / 1024
+        return f"<Cache {self.name} {kb:.0f}KB {self.assoc}-way lat={self.latency}>"

@@ -1,0 +1,89 @@
+"""Read-write-sharing directory (Figure 6 methodology).
+
+The paper measures the fraction of LLC data references that access cache
+blocks most recently *written* by a thread running on a remote core, by
+splitting the workload across two sockets so such accesses appear as
+remote-cache hits.  We keep an explicit last-writer directory over line
+addresses: every store records (core, socket); every L2 data miss checks
+whether the block's most recent writer was a different core, and whether
+that core sits on the other socket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SharingStats:
+    llc_data_refs: int = 0
+    remote_dirty_hits: int = 0
+    os_remote_dirty_hits: int = 0
+    remote_socket_hits: int = 0
+
+    @property
+    def remote_dirty_fraction(self) -> float:
+        if not self.llc_data_refs:
+            return 0.0
+        return self.remote_dirty_hits / self.llc_data_refs
+
+    @property
+    def app_remote_dirty_hits(self) -> int:
+        return self.remote_dirty_hits - self.os_remote_dirty_hits
+
+
+class LastWriterDirectory:
+    """Tracks the last writing core per cache line.
+
+    The directory is unbounded (a dict); scale-out datasets touch many
+    lines but only written lines are recorded.
+    """
+
+    def __init__(self, line_bytes: int = 64, cores_per_socket: int = 2) -> None:
+        self._line_shift = line_bytes.bit_length() - 1
+        self._line_bytes = line_bytes
+        self.cores_per_socket = cores_per_socket
+        self._writer: dict[int, int] = {}
+        self.stats = SharingStats()
+        # Per-core invalidation hooks (registered by the Chip): a write
+        # invalidates the line in every *other* core's private caches, so
+        # their next access misses and is classified — without this,
+        # recurring sharing would be counted only once per core.
+        self._invalidators: dict[int, object] = {}
+
+    def attach_core(self, core_id: int, invalidate) -> None:
+        """Register a callable(addr) that drops a line from the private
+        caches of ``core_id``."""
+        self._invalidators[core_id] = invalidate
+
+    def socket_of(self, core: int) -> int:
+        return core // self.cores_per_socket
+
+    def record_write(self, addr: int, core: int) -> None:
+        line = addr >> self._line_shift
+        previous = self._writer.get(line)
+        self._writer[line] = core
+        if self._invalidators and previous != core:
+            line_addr = line << self._line_shift
+            for other_id, invalidate in self._invalidators.items():
+                if other_id != core:
+                    invalidate(line_addr)
+
+    def classify_llc_data_ref(self, addr: int, core: int, is_os: bool) -> bool:
+        """Account an LLC data reference; True if it hits remote-dirty data."""
+        stats = self.stats
+        stats.llc_data_refs += 1
+        writer = self._writer.get(addr >> self._line_shift)
+        if writer is None or writer == core:
+            return False
+        stats.remote_dirty_hits += 1
+        if is_os:
+            stats.os_remote_dirty_hits += 1
+        if self.socket_of(writer) != self.socket_of(core):
+            stats.remote_socket_hits += 1
+        # Reading migrates ownership for subsequent classification only when
+        # the reader later writes; reads alone leave the writer unchanged.
+        return True
+
+    def clear(self) -> None:
+        self._writer.clear()

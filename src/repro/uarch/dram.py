@@ -1,0 +1,64 @@
+"""Off-chip memory-channel accounting (Figure 7).
+
+Every LLC miss and dirty writeback moves one cache line across the memory
+channels.  The model accumulates bytes (split App/OS) and converts them
+into the paper's metric: per-core off-chip bandwidth utilization as a
+fraction of the available per-core bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DramStats:
+    read_bytes: int = 0
+    write_bytes: int = 0
+    os_read_bytes: int = 0
+    os_write_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+    @property
+    def os_bytes(self) -> int:
+        return self.os_read_bytes + self.os_write_bytes
+
+    @property
+    def app_bytes(self) -> int:
+        return self.total_bytes - self.os_bytes
+
+
+class MemoryChannels:
+    """Off-chip channel byte accounting shared by a chip's cores."""
+    def __init__(
+        self,
+        channels: int,
+        peak_bandwidth_bytes_per_s: float,
+        line_bytes: int = 64,
+    ) -> None:
+        self.channels = channels
+        self.peak_bandwidth = peak_bandwidth_bytes_per_s
+        self.line_bytes = line_bytes
+        self.stats = DramStats()
+
+    def read_line(self, is_os: bool) -> None:
+        self.stats.read_bytes += self.line_bytes
+        if is_os:
+            self.stats.os_read_bytes += self.line_bytes
+
+    def write_line(self, is_os: bool) -> None:
+        self.stats.write_bytes += self.line_bytes
+        if is_os:
+            self.stats.os_write_bytes += self.line_bytes
+
+    def utilization(self, cycles: int, freq_hz: float, active_cores: int) -> float:
+        """Fraction of the per-core share of peak bandwidth consumed."""
+        if cycles == 0:
+            return 0.0
+        seconds = cycles / freq_hz
+        per_core_peak = self.peak_bandwidth / max(active_cores, 1)
+        achieved = self.stats.total_bytes / seconds
+        return achieved / per_core_peak

@@ -1,0 +1,293 @@
+"""Three-level cache hierarchy with prefetchers, TLBs, and sharing hooks.
+
+Per core: split 32 KB L1-I / L1-D and a private 256 KB L2.  The 12 MB LLC,
+memory channels, and last-writer directory may be shared between cores
+(the :class:`repro.uarch.chip.Chip` wires one of each across its cores).
+
+Latency model: a demand access pays the latency of the level that hits,
+plus TLB-walk penalties.  Prefetches run in the background (no latency
+charged) but move real lines — they fill caches, evict victims, and
+consume off-chip bandwidth, which is how prefetcher pollution (Figure 5)
+and bandwidth overheads (Figure 7) emerge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.uarch.cache import Cache
+from repro.uarch.coherence import LastWriterDirectory
+from repro.uarch.dram import MemoryChannels
+from repro.uarch.params import MachineParams
+from repro.uarch.prefetch import (
+    AdjacentLinePrefetcher,
+    NextLinePrefetcher,
+    StreamPrefetcher,
+)
+from repro.uarch.tlb import make_tlbs
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one demand access."""
+
+    latency: int
+    level: str  # 'l1', 'l2', 'llc', or 'mem'
+    off_core: bool  # missed the private L2 (enters the super queue)
+    off_chip: bool  # missed the LLC (consumes memory bandwidth)
+
+
+class MemoryHierarchy:
+    """The memory system seen by one core."""
+
+    def __init__(
+        self,
+        params: MachineParams,
+        core_id: int = 0,
+        shared_llc: Cache | None = None,
+        dram: MemoryChannels | None = None,
+        directory: LastWriterDirectory | None = None,
+    ) -> None:
+        self.params = params
+        self.core_id = core_id
+        self.l1i = Cache("L1-I", params.l1i)
+        self.l1d = Cache("L1-D", params.l1d)
+        self.l2 = Cache("L2", params.l2)
+        self.llc = shared_llc if shared_llc is not None else Cache("LLC", params.llc)
+        self.dram = dram if dram is not None else MemoryChannels(
+            params.memory_channels, params.peak_bandwidth_bytes_per_s, params.line_bytes
+        )
+        self.directory = directory if directory is not None else LastWriterDirectory(
+            params.line_bytes
+        )
+        self.itlb, self.dtlb = make_tlbs(
+            params.itlb_entries,
+            params.dtlb_entries,
+            params.stlb_entries,
+            params.page_bytes,
+        )
+        pf = params.prefetch
+        self._l1i_next = NextLinePrefetcher(params.line_bytes) if pf.l1i_next_line else None
+        self._dcu = NextLinePrefetcher(params.line_bytes) if pf.dcu_streamer else None
+        self._adjacent = (
+            AdjacentLinePrefetcher(params.line_bytes) if pf.adjacent_line else None
+        )
+        self._stream = (
+            StreamPrefetcher(
+                params.line_bytes,
+                params.page_bytes,
+                degree=pf.hw_prefetch_degree,
+            )
+            if pf.hw_prefetcher
+            else None
+        )
+        # Stall-cycle contributions the paper folds into "Memory cycles".
+        self.l2_instr_hit_stalls = 0
+        self.itlb_miss_stalls = 0
+        self.stlb_miss_stalls = 0
+        self.off_core_instr_fetches = 0
+        # Off-chip bandwidth limit: one line per `dram_interval` cycles of
+        # this core's share of the channels.  Timed accesses (the core
+        # passes `now`) queue behind earlier transfers; functional warming
+        # passes no timestamp and leaves the queue untouched.
+        share = params.peak_bandwidth_bytes_per_s / max(1, params.active_cores)
+        self.dram_interval = max(1, int(params.line_bytes / share * params.freq_hz))
+        self._dram_next_free = 0
+
+    def _dram_queue_delay(self, now: int | None) -> int:
+        """Reserve a line transfer slot; returns the queueing delay."""
+        if now is None:
+            return 0
+        delay = max(0, self._dram_next_free - now)
+        self._dram_next_free = max(self._dram_next_free, now) + self.dram_interval
+        return delay
+
+    # ------------------------------------------------------------------
+    def access(
+        self,
+        addr: int,
+        is_write: bool = False,
+        is_instr: bool = False,
+        is_os: bool = False,
+        now: int | None = None,
+    ) -> AccessResult:
+        """Perform a demand access and return its latency and origin level.
+
+        ``now`` (the core's current cycle) enables the off-chip bandwidth
+        queue; untimed callers (functional warming, tests) omit it."""
+        params = self.params
+        latency = 0
+
+        # Address translation.
+        tlb = self.itlb if is_instr else self.dtlb
+        outcome = tlb.access(addr)
+        if outcome == "l2":
+            latency += 2  # STLB hit adds a couple of cycles
+            if is_instr:
+                self.itlb_miss_stalls += 2
+        elif outcome == "miss":
+            latency += params.tlb_miss_penalty
+            if is_instr:
+                self.itlb_miss_stalls += params.tlb_miss_penalty
+            else:
+                self.stlb_miss_stalls += params.tlb_miss_penalty
+
+        l1 = self.l1i if is_instr else self.l1d
+        if is_write:
+            self.directory.record_write(addr, self.core_id)
+        if l1.access(addr, is_write, is_instr, is_os):
+            late_pf = l1.consumed_pf_penalty
+            # (The DCU streamer trains on L1 misses, not hits.)
+            if late_pf:
+                # A hit on a still-in-flight DCU prefetch is logically an
+                # L2 transaction that the prefetcher started early: credit
+                # the L2's demand statistics (the counters VTune reads)
+                # and treat deep fills as off-core for MLP purposes.
+                stats = self.l2.stats
+                stats.demand_hits += 1
+                if is_instr:
+                    stats.inst_hits += 1
+                    if is_os:
+                        stats.os_inst_hits += 1
+                else:
+                    stats.data_hits += 1
+                    if is_os:
+                        stats.os_data_hits += 1
+            return AccessResult(latency + l1.latency + late_pf, "l1",
+                                late_pf >= self.llc.latency, False)
+
+        # L1 miss -> L2.
+        if self.l2.access(addr, is_write, is_instr, is_os):
+            late_pf = self.l2.consumed_pf_penalty
+            self._fill_l1(l1, addr, is_write)
+            self._run_l2_prefetchers(addr, hit=True, is_os=is_os, now=now)
+            if not is_instr and self._dcu is not None:
+                self._run_dcu(addr)
+            lat = latency + l1.latency + self.l2.latency + late_pf
+            if is_instr:
+                self.l2_instr_hit_stalls += self.l2.latency
+            return AccessResult(lat, "l2", late_pf >= self.llc.latency, False)
+
+        # L2 miss -> LLC (off-core; enters the super queue).
+        if is_instr:
+            self.off_core_instr_fetches += 1
+        if not is_instr and self.llc.contains(addr):
+            # Remote-dirty classification only applies to blocks still on
+            # chip — a block written long ago and since evicted comes from
+            # memory, not from a remote cache (§3.1's two-socket setup).
+            self.directory.classify_llc_data_ref(addr, self.core_id, is_os)
+        elif not is_instr:
+            self.directory.stats.llc_data_refs += 1
+        self._run_l2_prefetchers(addr, hit=False, is_os=is_os, now=now)
+        if self.llc.access(addr, is_write, is_instr, is_os):
+            self._fill_l2(addr, is_write, is_os)
+            self._fill_l1(l1, addr, is_write)
+            if not is_instr and self._dcu is not None:
+                self._run_dcu(addr)
+            return AccessResult(
+                latency + l1.latency + self.l2.latency + self.llc.latency,
+                "llc",
+                True,
+                False,
+            )
+
+        # LLC miss -> memory.
+        self.dram.read_line(is_os)
+        latency += self._dram_queue_delay(now)
+        self._fill_llc(addr, is_write, is_os)
+        self._fill_l2(addr, is_write, is_os)
+        self._fill_l1(l1, addr, is_write)
+        if not is_instr and self._dcu is not None:
+            self._run_dcu(addr)
+        return AccessResult(
+            latency + l1.latency + self.l2.latency + self.llc.latency + params.memory_latency,
+            "mem",
+            True,
+            True,
+        )
+
+    # -- fills and writeback propagation --------------------------------
+    def _fill_l1(self, l1: Cache, addr: int, dirty: bool) -> None:
+        victim = l1.fill(addr, dirty=dirty)
+        if victim is not None and victim.dirty:
+            # Writeback into L2; may ripple downward.
+            self._fill_l2(victim.addr, dirty=True, is_os=False, quiet=True)
+
+    def _fill_l2(self, addr: int, dirty: bool, is_os: bool, quiet: bool = False) -> None:
+        victim = self.l2.fill(addr, dirty=dirty)
+        if victim is not None and victim.dirty:
+            self._fill_llc(victim.addr, dirty=True, is_os=is_os, quiet=True)
+
+    def _fill_llc(self, addr: int, dirty: bool, is_os: bool, quiet: bool = False) -> None:
+        victim = self.llc.fill(addr, dirty=dirty)
+        if victim is not None and victim.dirty:
+            self.dram.write_line(is_os)
+
+    # -- prefetch machinery ----------------------------------------------
+    def _run_dcu(self, addr: int) -> None:
+        for target in self._dcu.observe(addr, hit=True):
+            self._prefetch_into_l1d(target)
+
+    def _prefetch_into_l1d(self, addr: int) -> None:
+        if self.l1d.contains(addr):
+            return
+        l2_state = self.l2.peek_state(addr)
+        if l2_state is None and not self.llc.contains(addr):
+            # DCU prefetches that would go off-chip are dropped by the
+            # hardware; modeling them as LLC fills would overstate reach.
+            return
+        # If the L2 copy is itself a still-in-flight prefetch, the L1 copy
+        # inherits the residual latency — chained prefetchers cannot make
+        # data arrive sooner than memory delivers it.
+        inherited = l2_state.pf_penalty if (l2_state and l2_state.prefetched) else 0
+        self.l1d.fill(addr, prefetched=True, pf_penalty=inherited)
+
+    def _run_l2_prefetchers(self, addr: int, hit: bool, is_os: bool,
+                            now: int | None = None) -> None:
+        proposals: list[int] = []
+        if self._adjacent is not None:
+            proposals.extend(self._adjacent.observe(addr, hit))
+        if self._stream is not None:
+            proposals.extend(self._stream.observe(addr, hit))
+        for target in proposals:
+            self._prefetch_into_l2(target, is_os, now)
+
+    def _prefetch_into_l2(self, addr: int, is_os: bool,
+                          now: int | None = None) -> None:
+        if self.l2.contains(addr):
+            return
+        if not self.llc.contains(addr):
+            # Bring it on chip first; prefetch fills consume real bandwidth
+            # and, when demanded soon after issue, still expose a large
+            # share of the memory latency (a *late* prefetch).
+            self.dram.read_line(is_os)
+            pf_penalty = (self.params.memory_latency * 2) // 5
+            pf_penalty += self._dram_queue_delay(now)
+            self._fill_llc(addr, dirty=False, is_os=is_os)
+        else:
+            pf_penalty = (self.llc.latency * 2) // 5
+        victim = self.l2.fill(addr, prefetched=True, pf_penalty=pf_penalty)
+        if victim is not None and victim.dirty:
+            self._fill_llc(victim.addr, dirty=True, is_os=is_os, quiet=True)
+
+    def prefetch_instruction(self, addr: int) -> None:
+        """L1-I next-line prefetch hook, driven by the core's fetch unit."""
+        if self._l1i_next is None:
+            return
+        for target in self._l1i_next.observe(addr, hit=True):
+            if self.l1i.contains(target):
+                continue
+            if not self.l2.contains(target) and not self.llc.contains(target):
+                continue  # next-line I-prefetch does not go off-chip
+            self.l1i.fill(target, prefetched=True)
+
+    def invalidate_private(self, addr: int) -> None:
+        """Coherence invalidation: drop the line from L1-D/L1-I/L2."""
+        self.l1d.invalidate(addr)
+        self.l1i.invalidate(addr)
+        self.l2.invalidate(addr)
+
+    # ------------------------------------------------------------------
+    def warm_access(self, addr: int, is_write: bool = False, is_instr: bool = False) -> None:
+        """Functional-only access used to warm caches without timing."""
+        self.access(addr, is_write, is_instr, is_os=False)

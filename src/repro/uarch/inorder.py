@@ -1,0 +1,172 @@
+"""An in-order core model (the §4.2 contrast).
+
+The paper positions scale-out workloads between two bad fits: "modern
+mainstream processors offer excessively complex cores" but "niche
+processors offer excessively simple (e.g., in-order) cores that cannot
+leverage the available ILP and MLP in scale-out workloads".  This model
+provides that second endpoint: a scoreboarded in-order pipeline that
+issues up to ``width`` micro-ops per cycle strictly in program order,
+stalling whenever the next micro-op's operands are not ready.
+
+Memory-level parallelism is limited to what in-order issue exposes:
+independent loads that happen to be adjacent in program order can
+overlap (the scoreboard does not block on a miss until a consumer
+needs the value), but program order caps how far ahead the core sees.
+
+The model shares the MemoryHierarchy/trace interfaces of the
+out-of-order :class:`~repro.uarch.core.Core`, so the comparison
+(``repro.core.experiments.ablations.core_aggressiveness``) swaps cores
+under identical workloads and memory systems.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.uarch.branch import BranchPredictor
+from repro.uarch.core import CoreResult
+from repro.uarch.hierarchy import MemoryHierarchy
+from repro.uarch.params import MachineParams
+from repro.uarch.uop import MicroOp, OpKind
+
+
+class InOrderCore:
+    """Scoreboarded in-order pipeline over the same memory hierarchy."""
+
+    def __init__(
+        self,
+        params: MachineParams,
+        hierarchy: MemoryHierarchy | None = None,
+        core_id: int = 0,
+        scoreboard_entries: int = 4,
+    ) -> None:
+        self.params = params
+        self.core_id = core_id
+        self.hierarchy = hierarchy if hierarchy is not None else MemoryHierarchy(
+            params, core_id=core_id
+        )
+        self.branch_predictor = BranchPredictor()
+        self.scoreboard_entries = scoreboard_entries
+        self._cycle = 0
+
+    def run(self, traces: Iterable[Iterator[MicroOp]]) -> CoreResult:
+        """Execute the trace(s) in order; returns the same counter set."""
+        hier = self.hierarchy
+        predictor = self.branch_predictor
+        params = self.params
+        width = min(2, params.width)  # in-order niche cores are narrow
+        line_shift = params.line_bytes.bit_length() - 1
+        mispredict_penalty = params.branch_mispredict_penalty
+
+        result = CoreResult(per_thread_instructions=[])
+        completion: dict[tuple[int, int], int] = {}  # (tid, seq) -> cycle
+        outstanding: list[int] = []  # completion cycles of in-flight loads
+
+        now = self._cycle
+        start = now
+        issued_this_cycle = 0
+        commit_cycles: set[int] = set()
+        superq_busy = 0
+        superq_area = 0
+        superq_mark = now
+
+        def drain_outstanding(up_to: int) -> None:
+            nonlocal superq_busy, superq_area, superq_mark
+            if up_to <= superq_mark:
+                outstanding[:] = [c for c in outstanding if c > up_to]
+                return
+            t = superq_mark
+            pending = sorted(outstanding)
+            index = 0
+            while t < up_to and index < len(pending):
+                segment_end = min(pending[index], up_to)
+                if segment_end > t:
+                    live = len(pending) - index
+                    superq_busy += segment_end - t
+                    superq_area += (segment_end - t) * live
+                    t = segment_end
+                if pending[index] <= up_to:
+                    index += 1
+            superq_mark = up_to
+            outstanding[:] = [c for c in pending if c > up_to]
+
+        for tid, trace in enumerate(traces):
+            last_line = -1
+            fetch_barrier = 0  # pipeline flushes stall all younger issue
+            for uop in trace:
+                # Program-order issue: never before the previous issue slot.
+                ready = max(now, fetch_barrier)
+                for dep in uop.deps:
+                    done = completion.get((tid, dep))
+                    if done is not None and done > ready:
+                        ready = done
+                # Instruction fetch.
+                line = uop.pc >> line_shift
+                if line != last_line:
+                    last_line = line
+                    fetch = hier.access(uop.pc, False, True, uop.is_os,
+                                        now=ready)
+                    hier.prefetch_instruction(uop.pc)
+                    if fetch.level != "l1":
+                        ready += fetch.latency
+                        result.l1i_misses += 0  # counted via hierarchy delta
+                # Scoreboard capacity: wait for the oldest load if full.
+                if len(outstanding) >= self.scoreboard_entries:
+                    ready = max(ready, min(outstanding))
+                drain_outstanding(ready)
+
+                if uop.kind == OpKind.LOAD:
+                    res = hier.access(uop.addr, False, False, uop.is_os,
+                                      now=ready)
+                    done = ready + res.latency
+                    if res.off_core:
+                        outstanding.append(done)
+                        result.superq_requests += 1
+                    result.loads += 1
+                elif uop.kind == OpKind.STORE:
+                    hier.access(uop.addr, True, False, uop.is_os, now=ready)
+                    done = ready + 1
+                    result.stores += 1
+                else:
+                    done = ready + params.alu_latency
+                    if uop.kind == OpKind.BRANCH:
+                        result.branches += 1
+                        mispredicted, btb_missed = predictor.predict_and_update(
+                            uop.pc, uop.taken, uop.target
+                        )
+                        if mispredicted:
+                            result.branch_mispredicts += 1
+                            fetch_barrier = done + mispredict_penalty
+                        elif btb_missed:
+                            fetch_barrier = done + 8
+                completion[(tid, uop.seq)] = done
+                if len(completion) > 4096:
+                    # Old results can no longer be referenced.
+                    for key in list(completion)[:2048]:
+                        del completion[key]
+                # Issue-slot bookkeeping: `width` issues per cycle.
+                if ready == now:
+                    issued_this_cycle += 1
+                    if issued_this_cycle >= width:
+                        now += 1
+                        issued_this_cycle = 0
+                else:
+                    now = ready
+                    issued_this_cycle = 1
+                commit_cycles.add(done)
+                result.instructions += 1
+                if uop.is_os:
+                    result.os_instructions += 1
+            result.per_thread_instructions.append(
+                result.instructions - sum(result.per_thread_instructions)
+            )
+        end = max([now] + list(commit_cycles)) if commit_cycles else now
+        drain_outstanding(end)
+        self._cycle = end
+        result.cycles = max(1, end - start)
+        result.committing_cycles = min(len(commit_cycles), result.cycles)
+        result.stalled_cycles = result.cycles - result.committing_cycles
+        result.superq_busy_cycles = superq_busy
+        result.mlp = superq_area / superq_busy if superq_busy else 0.0
+        result.memory_cycles = min(result.cycles, superq_busy)
+        return result

@@ -1,0 +1,118 @@
+"""Hardware prefetchers of the X5670 (§4.3 and BIOS switches of §3).
+
+Four prefetchers are modelled, matching the processor documentation names
+used in the paper:
+
+* **L1-I next-line** — on an instruction fetch of line N, prefetch N+1
+  into the L1-I.
+* **Adjacent-line** — on an L2 demand miss, also fetch the buddy line
+  that completes the aligned 128-byte pair.
+* **HW prefetcher** (L2 stream prefetcher / MLC streamer) — detects
+  ascending or descending streams within a 4 KB page and runs ahead of
+  the demand stream by a configurable degree.
+* **DCU streamer** — L1-D next-line prefetcher triggered by loads.
+
+Each prefetcher only *proposes* line addresses; the hierarchy decides how
+to install them (which levels fill) and accounts usefulness/pollution.
+"""
+
+from __future__ import annotations
+
+
+class NextLinePrefetcher:
+    """L1-I next-line prefetcher (also used as the DCU streamer)."""
+
+    def __init__(self, line_bytes: int = 64) -> None:
+        self.line_bytes = line_bytes
+        self._last_line = -1
+
+    def observe(self, addr: int, hit: bool) -> list[int]:
+        line = addr // self.line_bytes
+        proposals: list[int] = []
+        if line != self._last_line:
+            proposals.append((line + 1) * self.line_bytes)
+        self._last_line = line
+        return proposals
+
+
+class AdjacentLinePrefetcher:
+    """Fetch the buddy line of a missing line (128-byte-pair completion)."""
+
+    def __init__(self, line_bytes: int = 64) -> None:
+        self.line_bytes = line_bytes
+
+    def observe(self, addr: int, hit: bool) -> list[int]:
+        if hit:
+            return []
+        line = addr // self.line_bytes
+        return [(line ^ 1) * self.line_bytes]
+
+
+class StreamEntry:
+    """Per-page stream-detector state (direction + confidence)."""
+    __slots__ = ("last_line", "direction", "confidence")
+
+    def __init__(self, last_line: int) -> None:
+        self.last_line = last_line
+        self.direction = 0
+        self.confidence = 0
+
+
+class StreamPrefetcher:
+    """L2 HW (stream) prefetcher: per-4KB-page stream detection.
+
+    A page is tracked in a small table; two consecutive accesses in the
+    same direction within a page train the entry, after which it issues
+    ``degree`` prefetches ahead of the demand stream.
+    """
+
+    def __init__(
+        self,
+        line_bytes: int = 64,
+        page_bytes: int = 4096,
+        table_entries: int = 32,
+        degree: int = 2,
+        train_threshold: int = 1,
+    ) -> None:
+        self.line_bytes = line_bytes
+        self.lines_per_page = page_bytes // line_bytes
+        self.page_bytes = page_bytes
+        self.table_entries = table_entries
+        self.degree = degree
+        self.train_threshold = train_threshold
+        self._table: dict[int, StreamEntry] = {}
+
+    def observe(self, addr: int, hit: bool) -> list[int]:
+        line = addr // self.line_bytes
+        page = addr // self.page_bytes
+        entry = self._table.get(page)
+        if entry is None:
+            if len(self._table) >= self.table_entries:
+                # FIFO replacement of the oldest tracked page.
+                self._table.pop(next(iter(self._table)))
+            self._table[page] = StreamEntry(line)
+            return []
+        # LRU bump for the page entry.
+        del self._table[page]
+        self._table[page] = entry
+        delta = line - entry.last_line
+        proposals: list[int] = []
+        if delta != 0:
+            direction = 1 if delta > 0 else -1
+            if direction == entry.direction:
+                entry.confidence = min(entry.confidence + 1, 4)
+            else:
+                entry.direction = direction
+                entry.confidence = 0
+            if entry.confidence >= self.train_threshold:
+                page_base = page * self.lines_per_page
+                page_end = page_base + self.lines_per_page
+                for i in range(1, self.degree + 1):
+                    target = line + direction * i
+                    if page_base <= target < page_end:
+                        proposals.append(target * self.line_bytes)
+            entry.last_line = line
+        return proposals
+
+    def reset(self) -> None:
+        self._table.clear()

@@ -1,0 +1,68 @@
+"""Simultaneous multi-threading support (Figure 3 SMT experiments).
+
+The X5670 cores are 2-way SMT.  In the model, SMT is simply a
+:class:`~repro.uarch.core.Core` run with two independent micro-op
+traces: fetch round-robins between the threads every cycle, and the
+ROB, reservation stations, load/store buffers, super queue, and all
+cache levels are competitively shared — exactly the contention the
+paper describes ("introducing instructions from multiple software
+threads into the same pipeline causes contention for core resources").
+
+This module provides the comparison harness used by the Figure 3
+experiment: run a workload single-threaded, then run two independent
+instances of it on one SMT core, and report both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.uarch.core import Core, CoreResult
+from repro.uarch.hierarchy import MemoryHierarchy
+from repro.uarch.params import MachineParams
+from repro.uarch.uop import MicroOp
+
+TraceFactory = Callable[[int], Iterator[MicroOp]]
+"""Builds the micro-op trace for hardware thread `tid`."""
+
+
+@dataclass
+class SmtComparison:
+    baseline: CoreResult
+    smt: CoreResult
+
+    @property
+    def ipc_gain(self) -> float:
+        """Aggregate-IPC improvement of SMT over the single thread."""
+        base = self.baseline.instructions / self.baseline.cycles
+        smt = self.smt.instructions / self.smt.cycles
+        return smt / base - 1.0
+
+    @property
+    def mlp_gain(self) -> float:
+        if not self.baseline.mlp:
+            return 0.0
+        return self.smt.mlp / self.baseline.mlp - 1.0
+
+
+def run_smt_comparison(
+    params: MachineParams,
+    trace_factory: TraceFactory,
+    warm: Callable[[MemoryHierarchy], None] | None = None,
+) -> SmtComparison:
+    """Run the baseline (1 thread) and SMT (2 threads) configurations.
+
+    Each configuration gets a fresh core and hierarchy; ``warm`` may
+    pre-populate the caches (the runner passes the workload's warmup).
+    """
+    base_core = Core(params, MemoryHierarchy(params, core_id=0), core_id=0)
+    if warm is not None:
+        warm(base_core.hierarchy)
+    baseline = base_core.run([trace_factory(0)])
+
+    smt_core = Core(params.with_smt(2), MemoryHierarchy(params, core_id=0), core_id=0)
+    if warm is not None:
+        warm(smt_core.hierarchy)
+    smt = smt_core.run([trace_factory(0), trace_factory(1)])
+    return SmtComparison(baseline=baseline, smt=smt)

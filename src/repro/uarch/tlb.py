@@ -1,0 +1,79 @@
+"""Two-level TLB model.
+
+The paper's memory-cycle computation (§3.1) includes second-level TLB
+miss cycles and first-level instruction-TLB miss cycles, so the model
+tracks both levels with fully-associative LRU arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TlbStats:
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.l1_hits + self.l1_misses
+
+
+class _LruArray:
+    def __init__(self, entries: int) -> None:
+        self.entries = entries
+        self._map: dict[int, None] = {}
+
+    def access(self, page: int) -> bool:
+        if page in self._map:
+            del self._map[page]
+            self._map[page] = None
+            return True
+        return False
+
+    def fill(self, page: int) -> None:
+        if page in self._map:
+            del self._map[page]
+        elif len(self._map) >= self.entries:
+            self._map.pop(next(iter(self._map)))
+        self._map[page] = None
+
+
+class Tlb:
+    """An L1 TLB (instruction or data) backed by a shared L2 (STLB)."""
+
+    def __init__(self, l1_entries: int, stlb: "_LruArray", page_bytes: int = 4096) -> None:
+        self._l1 = _LruArray(l1_entries)
+        self._stlb = stlb
+        self.page_bytes = page_bytes
+        self.stats = TlbStats()
+
+    def access(self, addr: int) -> str:
+        """Translate; returns 'l1', 'l2', or 'miss' (page walk needed)."""
+        page = addr // self.page_bytes
+        if self._l1.access(page):
+            self.stats.l1_hits += 1
+            return "l1"
+        self.stats.l1_misses += 1
+        if self._stlb.access(page):
+            self.stats.l2_hits += 1
+            self._l1.fill(page)
+            return "l2"
+        self.stats.l2_misses += 1
+        self._stlb.fill(page)
+        self._l1.fill(page)
+        return "miss"
+
+
+def make_tlbs(
+    itlb_entries: int, dtlb_entries: int, stlb_entries: int, page_bytes: int = 4096
+) -> tuple[Tlb, Tlb]:
+    """Build an (ITLB, DTLB) pair sharing one second-level TLB."""
+    stlb = _LruArray(stlb_entries)
+    return (
+        Tlb(itlb_entries, stlb, page_bytes),
+        Tlb(dtlb_entries, stlb, page_bytes),
+    )

@@ -1,0 +1,63 @@
+"""Micro-op record.
+
+Workloads (via :mod:`repro.machine.runtime`) compile to a stream of
+micro-ops.  A micro-op carries everything the core model needs: its kind,
+program counter (for instruction-fetch behaviour), memory address for
+loads/stores, true data dependencies on earlier micro-ops, and tags for
+the App/OS split and the issuing software thread.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class OpKind(IntEnum):
+    """Micro-op categories distinguished by the core model."""
+
+    ALU = 0
+    LOAD = 1
+    STORE = 2
+    BRANCH = 3
+
+
+class MicroOp:
+    """One dynamic micro-op.
+
+    ``deps`` holds sequence numbers (per-thread, monotonically increasing)
+    of the micro-ops whose results this one consumes; the core may only
+    issue it once all of them have completed.
+    """
+
+    __slots__ = ("kind", "pc", "addr", "deps", "seq", "is_os", "tid", "taken", "target")
+
+    def __init__(
+        self,
+        kind: int,
+        pc: int,
+        addr: int = 0,
+        deps: tuple[int, ...] = (),
+        seq: int = 0,
+        is_os: bool = False,
+        tid: int = 0,
+        taken: bool = False,
+        target: int = 0,
+    ) -> None:
+        self.kind = kind
+        self.pc = pc
+        self.addr = addr
+        self.deps = deps
+        self.seq = seq
+        self.is_os = is_os
+        self.tid = tid
+        self.taken = taken
+        self.target = target
+
+    def is_memory(self) -> bool:
+        return self.kind == OpKind.LOAD or self.kind == OpKind.STORE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = OpKind(self.kind).name
+        extra = f" addr={self.addr:#x}" if self.is_memory() else ""
+        os_tag = " os" if self.is_os else ""
+        return f"<uop #{self.seq} {name} pc={self.pc:#x}{extra} deps={self.deps}{os_tag}>"

@@ -1,0 +1,116 @@
+"""Interpreter: full opcode-set coverage and assembler control flow."""
+
+import pytest
+
+from repro.apps.webstack import CompiledScript, Opcode, PhpInterpreter
+from repro.apps.webstack.olio import ScriptAssembler
+
+
+def run(code, args=None):
+    return PhpInterpreter().execute(CompiledScript("t", code), args=args)
+
+
+class TestRemainingOpcodes:
+    def test_forward_jmp_skips_code(self):
+        result = run([
+            (Opcode.JMP, 3),
+            (Opcode.PUSH, 111),
+            (Opcode.ECHO, 0),
+            (Opcode.PUSH, 222),
+            (Opcode.ECHO, 0),
+        ])
+        assert result.output == [222]
+
+    def test_add(self):
+        assert run([(Opcode.PUSH, 2), (Opcode.PUSH, 3), (Opcode.ADD, 0),
+                    (Opcode.RET, 0)]).return_value == 5
+
+    def test_cmp_lt_false(self):
+        assert run([(Opcode.PUSH, 5), (Opcode.PUSH, 2), (Opcode.CMP_LT, 0),
+                    (Opcode.RET, 0)]).return_value == 0
+
+    def test_call_fn_is_deterministic(self):
+        a = run([(Opcode.PUSH, 4), (Opcode.CALL_FN, 7), (Opcode.RET, 0)])
+        b = run([(Opcode.PUSH, 4), (Opcode.CALL_FN, 7), (Opcode.RET, 0)])
+        assert a.return_value == b.return_value
+
+    def test_ret_with_empty_stack(self):
+        assert run([(Opcode.RET, 0)]).return_value is None
+
+    def test_program_end_without_ret(self):
+        result = run([(Opcode.PUSH, 1), (Opcode.ECHO, 0)])
+        assert result.return_value is None
+        assert result.output == [1]
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            run([(99, 0)])
+
+    def test_opcode_count_tracked(self):
+        result = run([(Opcode.PUSH, 1), (Opcode.PUSH, 2), (Opcode.ADD, 0),
+                      (Opcode.RET, 0)])
+        assert result.opcodes_executed == 4
+
+
+class TestAssemblerControlFlow:
+    def test_nested_loops(self):
+        asm = ScriptAssembler("nested")
+
+        def inner(a):
+            a.counted_loop(2, 3, lambda b: (b.emit(Opcode.PUSH, 1),
+                                            b.emit(Opcode.ECHO)))
+
+        asm.counted_loop(0, 4, inner)
+        asm.emit(Opcode.PUSH, 0)
+        asm.emit(Opcode.RET)
+        result = PhpInterpreter().execute(asm.build())
+        assert result.output == [1] * 12
+
+    def test_zero_iteration_loop(self):
+        asm = ScriptAssembler("empty")
+        asm.counted_loop(0, 0, lambda a: a.emit(Opcode.ECHO))
+        asm.emit(Opcode.PUSH, 7)
+        asm.emit(Opcode.RET)
+        result = PhpInterpreter().execute(asm.build())
+        assert result.return_value == 7
+        assert result.output == []
+
+    def test_patch_rewrites_operand(self):
+        asm = ScriptAssembler("p")
+        index = asm.emit(Opcode.JZ, 0)
+        asm.patch(index, 42)
+        assert asm.code[index] == (int(Opcode.JZ), 42)
+
+    def test_here_tracks_position(self):
+        asm = ScriptAssembler("h")
+        assert asm.here() == 0
+        asm.emit(Opcode.PUSH, 1)
+        assert asm.here() == 1
+
+
+class TestTracedExecutionConsistency:
+    def test_traced_and_untraced_agree(self):
+        """Tracing must not change the program's semantics."""
+        from repro.machine.address_space import AddressSpace
+        from repro.machine.codelayout import CodeLayout
+        from repro.machine.runtime import Runtime
+
+        code = [
+            (Opcode.PUSH, 10), (Opcode.STORE, 0),
+            (Opcode.LOAD, 0), (Opcode.PUSH, 32), (Opcode.ADD, 0),
+            (Opcode.ECHO, 0), (Opcode.PUSH, 1), (Opcode.RET, 0),
+        ]
+        plain = PhpInterpreter().execute(CompiledScript("x", code))
+
+        space = AddressSpace()
+        layout = CodeLayout()
+        handlers = layout.function("handlers", 64 * 1024)
+        interp = PhpInterpreter(space, handlers_fn=handlers)
+        script = CompiledScript("x", code)
+        script.place(space)
+        rt = Runtime(layout, main=layout.function("m", 8192))
+        with rt.frame(handlers):
+            traced = interp.execute(script, rt)
+        assert traced.output == plain.output
+        assert traced.return_value == plain.return_value
+        assert rt.take()  # and it really emitted micro-ops

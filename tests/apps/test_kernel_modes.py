@@ -1,0 +1,61 @@
+"""Micro-op-shape checks for the synthetic kernels and misc structures."""
+
+import pytest
+
+from repro.apps.synth import ParsecCpuApp, ParsecMemApp, SpecIntCpuApp
+from repro.uarch.cache import CacheStats
+from repro.uarch.uop import OpKind
+
+
+def trace_of(app, budget=3_000):
+    return list(app.trace(0, budget))
+
+
+class TestKernelUopShapes:
+    def test_chase_mode_emits_dependent_loads(self):
+        app = ParsecMemApp(seed=3, member="canneal")
+        loads = [u for u in trace_of(app) if u.kind == OpKind.LOAD]
+        dependent = sum(1 for u in loads if u.deps)
+        assert dependent > len(loads) * 0.8
+
+    def test_stream_mode_emits_independent_loads(self):
+        app = ParsecMemApp(seed=3, member="streamcluster")
+        loads = [u for u in trace_of(app) if u.kind == OpKind.LOAD]
+        independent = sum(1 for u in loads if not u.deps)
+        assert independent > len(loads) * 0.8
+
+    def test_table_mode_emits_indirect_jumps(self):
+        app = SpecIntCpuApp(seed=3, member="perlbench")
+        branches = [u for u in trace_of(app) if u.kind == OpKind.BRANCH]
+        taken_targets = {u.target for u in branches if u.taken}
+        assert len(taken_targets) > 10  # varied dispatch targets
+
+    def test_montecarlo_mode_is_arithmetic_dominated(self):
+        app = ParsecCpuApp(seed=3, member="swaptions")
+        trace = trace_of(app)
+        alu = sum(1 for u in trace if u.kind == OpKind.ALU)
+        assert alu / len(trace) > 0.5
+
+    def test_blocked_mode_reuses_its_block(self):
+        app = ParsecCpuApp(seed=3, member="blackscholes")
+        loads = [u.addr for u in trace_of(app) if u.kind == OpKind.LOAD]
+        span = max(loads) - min(loads)
+        assert span < 64 << 20  # confined to the small working set
+        # Repeated sweeps: many addresses recur.
+        assert len(set(loads)) < len(loads)
+
+
+class TestCacheStatsMerge:
+    def test_merge_adds_every_field(self):
+        a = CacheStats(demand_hits=3, demand_misses=1, inst_hits=2,
+                       writebacks=4)
+        b = CacheStats(demand_hits=7, demand_misses=2, prefetch_issued=5)
+        a.merge(b)
+        assert a.demand_hits == 10
+        assert a.demand_misses == 3
+        assert a.inst_hits == 2
+        assert a.writebacks == 4
+        assert a.prefetch_issued == 5
+
+    def test_hit_ratio_zero_when_untouched(self):
+        assert CacheStats().hit_ratio == 0.0

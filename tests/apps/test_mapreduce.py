@@ -1,0 +1,125 @@
+"""MapReduce: engine correctness and classifier accuracy."""
+
+from collections import Counter
+
+import pytest
+
+from repro.apps.mapreduce import MapReduceApp, MapReduceEngine, NaiveBayesModel
+from repro.apps.mapreduce.classifier import CorpusGenerator, classification_accuracy
+from repro.apps.mapreduce.engine import MapTask
+
+
+class TestEngineWordCount:
+    WORDS = "the quick brown fox jumps over the lazy dog the end".split()
+
+    @staticmethod
+    def map_fn(record):
+        yield record, 1
+
+    @staticmethod
+    def reduce_fn(key, values):
+        return sum(values)
+
+    def test_word_count_matches_counter(self):
+        engine = MapReduceEngine(num_reducers=3)
+        result = engine.run(self.WORDS, self.map_fn, self.reduce_fn, split_size=3)
+        assert result == dict(Counter(self.WORDS))
+
+    def test_combiner_reduces_shuffle_volume(self):
+        with_combiner = MapReduceEngine(num_reducers=2)
+        with_combiner.run(self.WORDS * 20, self.map_fn, self.reduce_fn,
+                          split_size=50, combine_fn=self.reduce_fn)
+        without = MapReduceEngine(num_reducers=2)
+        without.run(self.WORDS * 20, self.map_fn, self.reduce_fn, split_size=50)
+        assert with_combiner.shuffle_bytes < without.shuffle_bytes
+        assert with_combiner.combined_records > 0
+
+    def test_split_sizes(self):
+        engine = MapReduceEngine()
+        tasks = engine.split(list(range(10)), split_size=4)
+        assert [len(t.records) for t in tasks] == [4, 4, 2]
+        assert [t.task_id for t in tasks] == [0, 1, 2]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MapReduceEngine(num_reducers=0)
+        with pytest.raises(ValueError):
+            MapReduceEngine().split([1], split_size=0)
+
+    def test_map_task_partitions_cover_all_pairs(self):
+        engine = MapReduceEngine(num_reducers=4)
+        partitions = engine.run_map_task(MapTask(0, self.WORDS), self.map_fn)
+        total = sum(len(p.pairs) for p in partitions)
+        assert total == len(self.WORDS)
+
+    def test_inverted_index_job(self):
+        """A second real job: document -> term postings."""
+        docs = [(0, "a b"), (1, "b c"), (2, "a c")]
+
+        def map_fn(record):
+            doc_id, text = record
+            for term in text.split():
+                yield term, doc_id
+
+        def reduce_fn(term, doc_ids):
+            return sorted(doc_ids)
+
+        engine = MapReduceEngine(num_reducers=2)
+        index = engine.run(docs, map_fn, reduce_fn, split_size=2)
+        assert index == {"a": [0, 2], "b": [0, 1], "c": [1, 2]}
+
+
+class TestNaiveBayes:
+    def test_classifier_learns_separable_classes(self):
+        gen = CorpusGenerator(vocab_size=2000, num_classes=4, seed=1)
+        model = NaiveBayesModel(2000, 4)
+        model.train(gen.labelled_corpus(docs_per_class=40, doc_length=80))
+        test_set = gen.labelled_corpus(docs_per_class=10, doc_length=80)
+        assert classification_accuracy(model, test_set) > 0.9
+
+    def test_untrained_model_refuses_to_classify(self):
+        model = NaiveBayesModel(100, 2)
+        with pytest.raises(RuntimeError):
+            model.classify([1, 2, 3])
+
+    def test_scores_are_finite_and_ordered(self):
+        gen = CorpusGenerator(500, 3, seed=2)
+        model = NaiveBayesModel(500, 3)
+        model.train(gen.labelled_corpus(20, 50))
+        tokens = gen.document(1, 60)
+        scores = model.class_scores(tokens)
+        assert len(scores) == 3
+        assert model.classify(tokens) == scores.index(max(scores))
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            NaiveBayesModel(0, 3)
+
+
+class TestMapReduceApp:
+    def test_processes_documents_accurately(self):
+        app = MapReduceApp(seed=5, vocab_size=4_000, num_classes=6)
+        list(app.trace(0, 20_000))
+        assert app.docs_processed > 5
+        assert app.accuracy > 0.8  # the traced classifier really classifies
+
+    def test_input_streaming_advances_through_the_split(self):
+        app = MapReduceApp(seed=5, vocab_size=4_000, num_classes=6)
+        offset_before = app._split_offset
+        list(app.trace(0, 10_000))
+        assert app._split_offset != offset_before
+        assert app.kernel.pages_cached > 0
+
+
+class TestReducePhase:
+    def test_reduce_rounds_follow_map_progress(self):
+        app = MapReduceApp(seed=5, vocab_size=3_000, num_classes=4)
+        list(app.trace(0, 140_000))
+        assert app.docs_processed >= app.REDUCE_INTERVAL
+        assert app.reduce_rounds == app.docs_processed // app.REDUCE_INTERVAL
+
+    def test_reduce_consumes_every_map_output(self):
+        app = MapReduceApp(seed=5, vocab_size=3_000, num_classes=4)
+        list(app.trace(0, 140_000))
+        pending = sum(app._partial_counts)
+        assert app.reduced_records + pending == app.docs_processed

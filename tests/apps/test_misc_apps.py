@@ -1,0 +1,97 @@
+"""SPECweb09, Web Backend, and the PARSEC/SPECint proxies."""
+
+import pytest
+
+from repro.apps.specweb import SpecWebApp
+from repro.apps.synth import (
+    McfApp,
+    ParsecCpuApp,
+    ParsecMemApp,
+    SpecIntCpuApp,
+    SpecIntMemApp,
+)
+from repro.apps.webbackend import WebBackendApp
+
+
+class TestSpecWeb:
+    def test_serves_requests(self):
+        app = SpecWebApp(seed=3, num_clients=8, num_files=50)
+        list(app.trace(0, 15_000))
+        assert app.requests_served > 3
+
+    def test_static_dominates_the_mix(self):
+        app = SpecWebApp(seed=3, num_clients=8, num_files=50)
+        list(app.trace(0, 40_000))
+        issued = app.driver.issued
+        static = issued["static_small"] + issued["static_large"]
+        total = static + issued["dynamic_page"]
+        assert static / total > 0.6
+
+    def test_os_dominates_execution(self):
+        app = SpecWebApp(seed=3, num_clients=8, num_files=50)
+        trace = list(app.trace(0, 20_000))
+        os_fraction = sum(u.is_os for u in trace) / len(trace)
+        assert os_fraction > 0.4  # the traditional-web signature
+
+    def test_page_cache_fills_with_static_files(self):
+        app = SpecWebApp(seed=3, num_clients=8, num_files=50)
+        list(app.trace(0, 30_000))
+        assert app.kernel.pages_cached > 5
+
+
+class TestWebBackend:
+    def test_serves_queries(self):
+        app = WebBackendApp(seed=4)
+        list(app.trace(0, 15_000))
+        assert app.queries_served > 3
+
+    def test_mix_is_read_heavy(self):
+        app = WebBackendApp(seed=4)
+        reads = sum(w for name, w in app.QUERY_MIX if "insert" not in name)
+        writes = sum(w for name, w in app.QUERY_MIX if "insert" in name)
+        assert reads / (reads + writes) > 0.9
+
+    def test_tables_populated(self):
+        app = WebBackendApp(seed=4)
+        assert len(app.users.index) == 100_000
+        assert len(app.events.index) == 50_000
+
+
+class TestSynthKernels:
+    @pytest.mark.parametrize("cls", [
+        ParsecCpuApp, ParsecMemApp, SpecIntCpuApp, SpecIntMemApp, McfApp,
+    ])
+    def test_kernels_emit_user_only_uops(self, cls):
+        app = cls(seed=5)
+        trace = list(app.trace(0, 5_000))
+        assert len(trace) >= 5_000
+        assert not any(u.is_os for u in trace)
+
+    def test_member_selection(self):
+        app = ParsecMemApp(seed=5, member="canneal")
+        assert [k.name for k in app.KERNELS] == ["canneal"]
+        with pytest.raises(KeyError):
+            ParsecMemApp(seed=5, member="nope")
+
+    def test_member_names(self):
+        assert ParsecCpuApp.member_names() == ["blackscholes", "swaptions"]
+        assert SpecIntMemApp.member_names() == ["mcf", "libquantum"]
+
+    def test_groups_alternate_members(self):
+        app = SpecIntCpuApp(seed=5)
+        list(app.trace(0, 4_000))
+        assert app.iterations >= 2  # both kernels got a turn
+
+    def test_mcf_walks_a_large_working_set(self):
+        app = McfApp(seed=5)
+        trace = [u for u in app.trace(0, 8_000) if u.kind == 1]
+        arena = app.arenas["mcf"]
+        touched = {u.addr for u in trace if u.addr >= arena}
+        span = max(touched) - min(touched)
+        assert span > 8 << 20  # far beyond the LLC
+
+    def test_stream_kernels_walk_sequentially(self):
+        app = ParsecMemApp(seed=5, member="streamcluster")
+        loads = [u.addr for u in app.trace(0, 3_000) if u.kind == 1]
+        deltas = [b - a for a, b in zip(loads, loads[1:])]
+        assert deltas.count(64) > len(deltas) * 0.5

@@ -1,0 +1,299 @@
+"""OLTP substrate: B+-tree, storage engine, transactions."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.oltp import BPlusTree, StorageEngine, TpccApp, TpceApp
+from repro.apps.oltp.transactions import TpccDatabase
+from repro.machine.address_space import AddressSpace
+from repro.machine.codelayout import CodeLayout
+from repro.machine.runtime import Runtime
+
+
+@pytest.fixture()
+def space():
+    return AddressSpace()
+
+
+@pytest.fixture()
+def rt():
+    layout = CodeLayout()
+    return Runtime(layout, main=layout.function("m", 8192))
+
+
+class TestBPlusTree:
+    def test_insert_search(self, space):
+        tree = BPlusTree(space)
+        tree.insert(5, "five")
+        tree.insert(3, "three")
+        assert tree.search(5) == "five"
+        assert tree.search(3) == "three"
+        assert tree.search(4) is None
+
+    def test_overwrite(self, space):
+        tree = BPlusTree(space)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.search(1) == "b"
+        assert len(tree) == 1
+
+    def test_many_inserts_stay_sorted(self, space):
+        tree = BPlusTree(space)
+        keys = list(range(2000))
+        random.Random(7).shuffle(keys)
+        for key in keys:
+            tree.insert(key, key * 2)
+        in_order = [k for k, _ in tree.items()]
+        assert in_order == sorted(keys)
+        assert tree.height > 1
+
+    def test_range_scan(self, space):
+        tree = BPlusTree(space)
+        for key in range(0, 200, 2):
+            tree.insert(key, key)
+        scan = tree.range_scan(50, 5)
+        assert [k for k, _ in scan] == [50, 52, 54, 56, 58]
+
+    def test_range_scan_crosses_leaves(self, space):
+        tree = BPlusTree(space)
+        for key in range(500):
+            tree.insert(key, key)
+        scan = tree.range_scan(0, 100)
+        assert [k for k, _ in scan] == list(range(100))
+
+    def test_traced_search_emits_dependent_chain(self, space, rt):
+        tree = BPlusTree(space)
+        for key in range(1000):
+            tree.insert(key, key)
+        rt.take()
+        tree.search(567, rt)
+        loads = [u for u in rt.take() if u.kind == 1]
+        assert len(loads) >= tree.height * 2
+        dependent = sum(1 for u in loads if u.deps)
+        assert dependent >= len(loads) - 1  # a single chain
+
+    @settings(max_examples=25, deadline=None)
+    @given(items=st.dictionaries(st.integers(0, 100_000), st.integers(),
+                                 min_size=1, max_size=300))
+    def test_property_behaves_like_a_dict(self, items):
+        tree = BPlusTree(AddressSpace())
+        for key, value in items.items():
+            tree.insert(key, value)
+        assert len(tree) == len(items)
+        for key, value in items.items():
+            assert tree.search(key) == value
+        assert [k for k, _ in tree.items()] == sorted(items)
+
+
+class TestStorageEngine:
+    def test_table_lifecycle(self, space, rt):
+        engine = StorageEngine(space)
+        table = engine.create_table("t", 100, 128)
+        table.insert(5, rt)
+        assert table.read(5, rt) is not None
+        assert table.read(6, rt) is None
+        assert table.update(5, rt)
+        assert not table.update(6, rt)
+
+    def test_duplicate_table_rejected(self, space):
+        engine = StorageEngine(space)
+        engine.create_table("t", 10, 64)
+        with pytest.raises(ValueError):
+            engine.create_table("t", 10, 64)
+
+    def test_lock_manager_acquire_release(self, space, rt):
+        engine = StorageEngine(space)
+        engine.locks.acquire(rt, hash(("row", 1)))
+        engine.locks.acquire(rt, hash(("row", 2)))
+        assert engine.locks.acquisitions == 2
+        assert len(engine.locks.held) == 2
+        engine.locks.release_all(rt)
+        assert not engine.locks.held
+
+    def test_log_append_advances(self, space, rt):
+        engine = StorageEngine(space)
+        a = engine.log_append(rt, 128)
+        b = engine.log_append(rt, 128)
+        assert b == a + 128
+        assert engine.stats.log_records == 2
+
+
+class TestTpccDatabase:
+    @pytest.fixture(scope="class")
+    def db(self):
+        space = AddressSpace()
+        engine = StorageEngine(space)
+        return TpccDatabase(engine, warehouses=2, seed=1)
+
+    @pytest.fixture()
+    def db_rt(self, db):
+        layout = CodeLayout()
+        rt = Runtime(layout, main=layout.function("m", 8192))
+        from repro.machine.os_model import OsKernel
+        kernel = OsKernel(AddressSpace(), layout)
+        return db, rt, kernel
+
+    def test_population_counts(self, db):
+        assert len(db.warehouse.index) == 2
+        assert len(db.district.index) == 20
+        assert len(db.customer.index) == 20 * 300
+        assert len(db.item.index) == 10_000
+
+    @pytest.mark.parametrize("txn", [
+        "new_order", "payment", "order_status", "delivery", "stock_level",
+    ])
+    def test_transactions_execute_and_emit(self, db_rt, txn):
+        db, rt, kernel = db_rt
+        before = db.engine.stats.transactions
+        getattr(db, txn)(rt, kernel)
+        assert db.engine.stats.transactions == before + 1
+        assert rt.take(), f"{txn} emitted nothing"
+
+    def test_new_order_advances_order_ids(self, db_rt):
+        db, rt, kernel = db_rt
+        before = db._next_order_id
+        db.new_order(rt, kernel)
+        assert db._next_order_id == before + 1
+
+    def test_payment_locks_warehouse_and_district(self, db_rt):
+        db, rt, kernel = db_rt
+        before = db.engine.locks.acquisitions
+        db.payment(rt, kernel)
+        assert db.engine.locks.acquisitions >= before + 2
+
+
+class TestOltpApps:
+    def test_tpcc_serves_transactions(self):
+        app = TpccApp(seed=8)
+        list(app.trace(0, 20_000))
+        assert app.engine.stats.transactions > 2
+
+    def test_tpce_serves_transactions(self):
+        app = TpceApp(seed=8)
+        list(app.trace(0, 20_000))
+        assert app.engine.stats.transactions > 2
+
+    def test_tpcc_mix_prefers_new_order_and_payment(self):
+        app = TpccApp(seed=8)
+        picks = [app._pick_txn() for _ in range(2000)]
+        frequent = picks.count("new_order") + picks.count("payment")
+        assert frequent / len(picks) > 0.8
+
+
+class TestAborts:
+    def test_some_new_orders_roll_back(self):
+        space = AddressSpace()
+        from repro.apps.oltp.engine import StorageEngine
+        from repro.machine.os_model import OsKernel
+
+        engine = StorageEngine(space)
+        db = TpccDatabase(engine, warehouses=2, seed=3)
+        layout = CodeLayout()
+        rt = Runtime(layout, main=layout.function("m", 8192))
+        kernel = OsKernel(AddressSpace(), layout)
+        for _ in range(400):
+            db.new_order(rt, kernel)
+            rt.take()
+        assert engine.stats.aborts > 0
+        assert engine.stats.aborts < 40  # ~1%, not a flood
+        assert engine.stats.transactions == 400
+
+
+class TestBPlusTreeDelete:
+    def test_delete_removes_key(self, space):
+        tree = BPlusTree(space)
+        for key in range(100):
+            tree.insert(key, key)
+        assert tree.delete(50)
+        assert tree.search(50) is None
+        assert len(tree) == 99
+
+    def test_delete_absent_key(self, space):
+        tree = BPlusTree(space)
+        tree.insert(1, 1)
+        assert not tree.delete(2)
+        assert len(tree) == 1
+
+    def test_order_preserved_after_deletes(self, space):
+        tree = BPlusTree(space)
+        for key in range(300):
+            tree.insert(key, key)
+        for key in range(0, 300, 3):
+            assert tree.delete(key)
+        remaining = [k for k, _ in tree.items()]
+        assert remaining == [k for k in range(300) if k % 3]
+
+    def test_range_scan_skips_deleted(self, space):
+        tree = BPlusTree(space)
+        for key in range(20):
+            tree.insert(key, key)
+        tree.delete(5)
+        scan = [k for k, _ in tree.range_scan(4, 3)]
+        assert scan == [4, 6, 7]
+
+    def test_traced_delete_emits_store(self, space, rt):
+        tree = BPlusTree(space)
+        for key in range(64):
+            tree.insert(key, key)
+        rt.take()
+        tree.delete(10, rt)
+        assert any(u.kind == 2 for u in rt.take())
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        operations=st.lists(
+            st.tuples(st.booleans(), st.integers(0, 200)),
+            min_size=1, max_size=300,
+        )
+    )
+    def test_property_interleaved_insert_delete_matches_dict(self, operations):
+        tree = BPlusTree(AddressSpace())
+        model: dict[int, int] = {}
+        for is_insert, key in operations:
+            if is_insert:
+                tree.insert(key, key * 3)
+                model[key] = key * 3
+            else:
+                assert tree.delete(key) == (key in model)
+                model.pop(key, None)
+        assert len(tree) == len(model)
+        assert [k for k, _ in tree.items()] == sorted(model)
+        for key, value in model.items():
+            assert tree.search(key) == value
+
+
+class TestDeliveryQueue:
+    def test_delivery_drains_the_new_order_queue(self):
+        space = AddressSpace()
+        engine = StorageEngine(space)
+        db = TpccDatabase(engine, warehouses=2, seed=5)
+        layout = CodeLayout()
+        rt = Runtime(layout, main=layout.function("m", 8192))
+        from repro.machine.os_model import OsKernel
+        kernel = OsKernel(AddressSpace(), layout)
+        for _ in range(30):
+            db.new_order(rt, kernel)
+        queued = len(db.new_order_queue.index)
+        assert queued > 0
+        db.delivery(rt, kernel)
+        assert len(db.new_order_queue.index) <= max(0, queued - 1)
+
+
+class TestCustomerNameIndex:
+    def test_secondary_index_covers_every_customer(self):
+        space = AddressSpace()
+        engine = StorageEngine(space)
+        db = TpccDatabase(engine, warehouses=1, seed=1)
+        assert len(db.customer_by_name) == len(db.customer.index)
+
+    def test_lookup_by_name_returns_matching_customer(self):
+        space = AddressSpace()
+        engine = StorageEngine(space)
+        db = TpccDatabase(engine, warehouses=1, seed=1)
+        layout = CodeLayout()
+        rt = Runtime(layout, main=layout.function("m", 8192))
+        for _ in range(20):
+            customer = db._customer_by_last_name(rt)
+            assert 0 <= customer < db.districts * db.customers_per_district

@@ -1,0 +1,121 @@
+"""Per-query/per-transaction coverage for the server-side workloads."""
+
+import pytest
+
+from repro.apps.oltp.engine import StorageEngine
+from repro.apps.oltp.transactions import TpceDatabase
+from repro.apps.specweb import SpecWebApp
+from repro.apps.webbackend import WebBackendApp
+from repro.machine.address_space import AddressSpace
+from repro.machine.codelayout import CodeLayout
+from repro.machine.os_model import OsKernel
+from repro.machine.runtime import Runtime
+
+
+@pytest.fixture()
+def rt():
+    layout = CodeLayout()
+    return Runtime(layout, main=layout.function("m", 8192))
+
+
+class TestWebBackendQueries:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return WebBackendApp(seed=6)
+
+    @pytest.mark.parametrize("query", [
+        "q_event_list", "q_event_detail", "q_user", "q_tag_search",
+        "q_comments", "q_insert_event", "q_insert_comment",
+    ])
+    def test_query_emits_work(self, app, query):
+        rt = app.runtime(0)
+        rt.take()
+        getattr(app, f"_{query}")(rt)
+        buf = rt.take()
+        assert buf, query
+        assert any(u.kind in (1, 2) for u in buf), query
+
+    def test_inserts_grow_the_tables(self, app):
+        rt = app.runtime(0)
+        before = len(app.events.index)
+        app._q_insert_event(rt)
+        # Insert wraps at capacity but at this fill level it grows.
+        assert len(app.events.index) == before + 1
+        rt.take()
+
+    def test_event_list_reads_event_rows(self, app):
+        rt = app.runtime(0)
+        rt.take()
+        app._q_event_list(rt)
+        rows_base = app.events.rows.base
+        rows_end = rows_base + app.events.rows.nbytes
+        row_reads = [u for u in rt.take()
+                     if u.kind == 1 and rows_base <= u.addr < rows_end]
+        assert row_reads
+
+
+class TestTpceTransactions:
+    @pytest.fixture(scope="class")
+    def db(self):
+        engine = StorageEngine(AddressSpace())
+        return TpceDatabase(engine, customers=2_000, seed=2)
+
+    @pytest.fixture()
+    def db_rt(self, db):
+        layout = CodeLayout()
+        rt = Runtime(layout, main=layout.function("m", 8192))
+        kernel = OsKernel(AddressSpace(), layout)
+        return db, rt, kernel
+
+    @pytest.mark.parametrize("txn", [
+        "trade_order", "trade_result", "trade_lookup", "market_feed",
+    ])
+    def test_transactions_execute(self, db_rt, txn):
+        db, rt, kernel = db_rt
+        before = db.engine.stats.transactions
+        getattr(db, txn)(rt, kernel)
+        assert db.engine.stats.transactions == before + 1
+        assert rt.take()
+
+    def test_trade_orders_accumulate(self, db_rt):
+        db, rt, kernel = db_rt
+        before = db._next_trade
+        db.trade_order(rt, kernel)
+        db.trade_order(rt, kernel)
+        assert db._next_trade == before + 2
+
+    def test_market_feed_updates_securities(self, db_rt):
+        db, rt, kernel = db_rt
+        locks_before = db.engine.locks.acquisitions
+        db.market_feed(rt, kernel)
+        assert db.engine.locks.acquisitions >= locks_before + 8
+
+
+class TestSpecWebPaths:
+    def test_static_path_uses_page_cache_and_sendfile(self):
+        app = SpecWebApp(seed=7, num_clients=4, num_files=10)
+        rt = app.runtime(0)
+        session = app.driver.sessions[0]
+        rt.take()
+        packets_before = app.kernel.packets_sent
+        app._static(rt, session, 8 * 1024)
+        buf = rt.take()
+        assert app.kernel.packets_sent > packets_before
+        # sendfile: no skb payload stores for the body.
+        skb_base = app.kernel._skb_pool_base
+        skb_end = skb_base + app.kernel._skb_pool_slots * 2048
+        body_stores = [u for u in buf if u.kind == 2
+                       and skb_base <= u.addr < skb_end]
+        assert not body_stores
+
+    def test_dynamic_path_context_switches(self):
+        app = SpecWebApp(seed=7, num_clients=4, num_files=10)
+        rt = app.runtime(0)
+        session = app.driver.sessions[1]
+        rt.take()
+        sched = app.kernel.fns["scheduler"]
+        app._dynamic(rt, session)
+        buf = rt.take()
+        in_scheduler = [u for u in buf
+                        if sched.base <= u.pc < sched.base + sched.size]
+        assert in_scheduler  # the FastCGI hop really switches contexts

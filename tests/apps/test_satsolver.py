@@ -1,0 +1,131 @@
+"""SAT solver: completeness, model validity, traced behaviour."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.satsolver import DpllSolver, SatSolverApp, check_model, random_3sat
+from repro.machine.address_space import AddressSpace
+
+
+def brute_force_sat(nvars, clauses) -> bool:
+    for bits in itertools.product([False, True], repeat=nvars):
+        model = {v + 1: bits[v] for v in range(nvars)}
+        if check_model(clauses, model):
+            return True
+    return False
+
+
+class TestKnownFormulas:
+    def test_single_unit_clause(self):
+        solver = DpllSolver(1, [(1,)])
+        assert solver.solve() == "sat"
+        assert solver.model()[1] is True
+
+    def test_contradictory_units(self):
+        solver = DpllSolver(1, [(1,), (-1,)])
+        assert solver.solve() == "unsat"
+
+    def test_simple_satisfiable(self):
+        clauses = [(1, 2), (-1, 2), (1, -2)]
+        solver = DpllSolver(2, clauses)
+        assert solver.solve() == "sat"
+        assert check_model(clauses, solver.model())
+
+    def test_pigeonhole_2_into_1_unsat(self):
+        # Two pigeons, one hole: x1 and x2 say "pigeon i in hole 1".
+        clauses = [(1,), (2,), (-1, -2)]
+        assert DpllSolver(2, clauses).solve() == "unsat"
+
+    def test_chain_of_implications(self):
+        # x1 and (x1 -> x2) and (x2 -> x3) ... forces all true.
+        clauses = [(1,)] + [(-v, v + 1) for v in range(1, 6)]
+        solver = DpllSolver(6, clauses)
+        assert solver.solve() == "sat"
+        assert all(solver.model()[v] for v in range(1, 7))
+
+    def test_all_negative_chain(self):
+        clauses = [(-1,)] + [(1, -2), (2, -3)]
+        solver = DpllSolver(3, clauses)
+        assert solver.solve() == "sat"
+        model = solver.model()
+        assert not model[1] and not model[2] and not model[3]
+
+    def test_unsat_3sat_core(self):
+        # All eight clauses over three variables: unsatisfiable.
+        clauses = [
+            tuple(v if bit else -v for v, bit in zip((1, 2, 3), bits))
+            for bits in itertools.product([True, False], repeat=3)
+        ]
+        assert DpllSolver(3, clauses).solve() == "unsat"
+
+
+class TestGenerator:
+    def test_random_3sat_shape(self):
+        clauses = random_3sat(10, 42, seed=1)
+        assert len(clauses) == 42
+        for clause in clauses:
+            assert len(clause) == 3
+            variables = {abs(l) for l in clause}
+            assert len(variables) == 3
+            assert all(1 <= v <= 10 for v in variables)
+
+    def test_deterministic(self):
+        assert random_3sat(8, 20, seed=3) == random_3sat(8, 20, seed=3)
+        assert random_3sat(8, 20, seed=3) != random_3sat(8, 20, seed=4)
+
+    def test_too_few_variables_rejected(self):
+        with pytest.raises(ValueError):
+            random_3sat(2, 5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_solver_agrees_with_brute_force(seed):
+    """Property: on small random instances the solver's SAT/UNSAT verdict
+    matches exhaustive search, and SAT models really satisfy."""
+    nvars = 6
+    clauses = random_3sat(nvars, 26, seed=seed)  # ratio > 4.2: mixed results
+    solver = DpllSolver(nvars, clauses, seed=seed)
+    verdict = solver.solve()
+    expected = brute_force_sat(nvars, clauses)
+    assert verdict == ("sat" if expected else "unsat")
+    if verdict == "sat":
+        assert check_model(clauses, solver.model())
+
+
+class TestTracedSolver:
+    def test_traced_run_matches_untraced_verdict(self):
+        from repro.machine.codelayout import CodeLayout
+        from repro.machine.runtime import Runtime
+
+        clauses = random_3sat(8, 30, seed=9)
+        plain = DpllSolver(8, clauses, seed=1).solve()
+        layout = CodeLayout()
+        rt = Runtime(layout, main=layout.function("m", 8192))
+        traced = DpllSolver(8, clauses, space=AddressSpace(), seed=1)
+        assert traced.solve(rt) == plain
+        assert rt.take(), "traced solving must emit micro-ops"
+
+
+class TestSatSolverApp:
+    def test_slices_make_progress(self):
+        app = SatSolverApp(seed=2, nvars=60, clause_ratio=4.0,
+                           decisions_per_slice=5)
+        list(app.trace(0, 30_000))
+        total = app.instances_solved + (1 if app._solver.decisions else 0)
+        assert total > 0
+
+    def test_solved_instances_are_recorded(self):
+        app = SatSolverApp(seed=2, nvars=40, clause_ratio=3.0,
+                           decisions_per_slice=50)
+        list(app.trace(0, 60_000))
+        assert app.instances_solved >= 1
+        assert sum(app.results.values()) == app.instances_solved
+
+    def test_negligible_os_activity(self):
+        app = SatSolverApp(seed=2, nvars=60)
+        trace = list(app.trace(0, 10_000))
+        os_ops = sum(1 for u in trace if u.is_os)
+        assert os_ops / len(trace) < 0.02

@@ -1,0 +1,90 @@
+"""Media Streaming: library, sessions, packetization."""
+
+import pytest
+
+from repro.apps.streaming import MediaLibrary, MediaStreamingApp
+from repro.machine.address_space import AddressSpace
+
+
+class TestMediaLibrary:
+    def test_files_within_configured_sizes(self):
+        library = MediaLibrary(AddressSpace(), num_files=10, min_mb=2,
+                               max_mb=4, seed=1)
+        for media in library.files:
+            assert 2 << 20 <= media.nbytes <= 4 << 20
+
+    def test_files_do_not_overlap(self):
+        library = MediaLibrary(AddressSpace(), num_files=10, seed=1)
+        spans = sorted((f.base, f.base + f.nbytes) for f in library.files)
+        for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_addr_wraps_within_file(self):
+        library = MediaLibrary(AddressSpace(), num_files=1, seed=1)
+        media = library.files[0]
+        assert media.addr(media.nbytes + 64) == media.base + 64
+
+    def test_bitrates_are_low(self):
+        library = MediaLibrary(AddressSpace(), num_files=20, seed=2)
+        assert all(f.bitrate_kbps <= 800 for f in library.files)  # §3.2
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(ValueError):
+            MediaLibrary(AddressSpace(), num_files=0)
+
+
+class TestMediaStreamingApp:
+    def test_streams_packets(self):
+        app = MediaStreamingApp(seed=2, num_clients=16, num_files=4)
+        list(app.trace(0, 20_000))
+        assert app.packets_streamed > 3
+        assert app.bytes_streamed == app.packets_streamed * 1448
+
+    def test_sessions_advance_through_their_files(self):
+        app = MediaStreamingApp(seed=2, num_clients=4, num_files=2)
+        offsets_before = [s.state["offset"] for s in app.driver.sessions]
+        list(app.trace(0, 30_000))
+        offsets_after = [s.state["offset"] for s in app.driver.sessions]
+        assert offsets_before != offsets_after
+
+    def test_each_session_reads_its_own_position(self):
+        app = MediaStreamingApp(seed=2, num_clients=8, num_files=2)
+        offsets = [s.state["offset"] for s in app.driver.sessions]
+        assert len(set(offsets)) > 4  # unicast: per-client positions
+
+    def test_global_counters_written_every_packet(self):
+        app = MediaStreamingApp(seed=2, num_clients=4, num_files=2)
+        trace = list(app.trace(0, 20_000))
+        stats_writes = [
+            u for u in trace
+            if u.kind == 2 and app.global_stats <= u.addr < app.global_stats + 256
+        ]
+        assert len(stats_writes) >= app.packets_streamed * 0.8
+
+    def test_os_share_is_substantial(self):
+        app = MediaStreamingApp(seed=2, num_clients=8, num_files=2)
+        trace = list(app.trace(0, 15_000))
+        os_fraction = sum(u.is_os for u in trace) / len(trace)
+        assert 0.03 < os_fraction < 0.6
+
+
+class TestSessionChurn:
+    def test_reconnect_is_part_of_the_operation_mix(self):
+        app = MediaStreamingApp(seed=9, num_clients=8, num_files=4)
+        assert "reconnect" in app.driver._ops
+
+    def test_reconnect_counts_and_rebinds_the_session(self):
+        app = MediaStreamingApp(seed=9, num_clients=8, num_files=4)
+        rt = app.runtime(0)
+        session = app.driver.sessions[3]
+        app._reconnect(rt, session)
+        assert app.sessions_churned == 1
+        assert session.state["file"] in app.library.files
+
+    def test_reconnected_sessions_start_at_the_beginning(self):
+        app = MediaStreamingApp(seed=9, num_clients=4, num_files=4)
+        rt = app.runtime(0)
+        session = app.driver.sessions[0]
+        session.state["offset"] = 9999 * 64
+        app._reconnect(rt, session)
+        assert session.state["offset"] == 0

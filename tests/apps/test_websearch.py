@@ -1,0 +1,131 @@
+"""Web Search: index construction and query evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.apps.websearch import InvertedIndex, WebSearchApp
+from repro.machine.address_space import AddressSpace
+from repro.machine.codelayout import CodeLayout
+from repro.machine.runtime import Runtime
+
+
+@pytest.fixture()
+def index_rt():
+    space = AddressSpace()
+    layout = CodeLayout()
+    rt = Runtime(layout, main=layout.function("m", 8192))
+    index = InvertedIndex(space, num_terms=500, num_docs=5_000, seed=3)
+    index.load_dictionary(rt)
+    rt.take()
+    return index, rt
+
+
+class TestIndexStructure:
+    def test_dfs_follow_zipf(self, index_rt):
+        index, _ = index_rt
+        assert index.dfs[0] >= index.dfs[100] >= index.dfs[400]
+
+    def test_postings_sorted_unique(self, index_rt):
+        index, _ = index_rt
+        for term in (0, 10, 250):
+            postings = index.postings(term)
+            assert len(postings) == int(index.dfs[term])
+            assert np.all(np.diff(postings) > 0)
+            assert postings.max() < index.num_docs
+
+    def test_postings_deterministic(self, index_rt):
+        index, _ = index_rt
+        first = index.postings(42).copy()
+        index._materialized.clear()
+        assert np.array_equal(index.postings(42), first)
+
+    def test_posting_addresses_disjoint_between_terms(self, index_rt):
+        index, _ = index_rt
+        end_of_0 = index.posting_addr(0, int(index.dfs[0]) - 1)
+        start_of_1 = index.posting_addr(1, 0)
+        assert start_of_1 > end_of_0
+
+    def test_dictionary_lookup(self, index_rt):
+        index, rt = index_rt
+        info = index.lookup_term(rt, 3)
+        assert info == (int(index._offsets[3]), int(index.dfs[3]))
+
+
+class TestQueryEvaluation:
+    def test_results_appear_in_all_posting_lists(self, index_rt):
+        index, rt = index_rt
+        terms = [1, 2]
+        result = index.evaluate_and(rt, terms, max_scan=10_000)
+        for doc in result.doc_ids:
+            for term in terms:
+                assert doc in index.postings(term)
+
+    def test_scores_sorted_descending(self, index_rt):
+        index, rt = index_rt
+        result = index.evaluate_and(rt, [0, 1], max_scan=10_000)
+        assert result.scores == sorted(result.scores, reverse=True)
+
+    def test_at_most_ten_results(self, index_rt):
+        index, rt = index_rt
+        result = index.evaluate_and(rt, [0, 1], max_scan=10_000)
+        assert len(result.doc_ids) <= 10
+
+    def test_unknown_term_returns_empty(self, index_rt):
+        index, rt = index_rt
+        assert index.evaluate_and(rt, [10**6]).doc_ids == []
+
+    def test_snippet_reads_doc_store(self, index_rt):
+        index, rt = index_rt
+        rt.take()
+        index.snippet(rt, doc_id=17, lines=4)
+        loads = [u for u in rt.take() if u.kind == 1]
+        assert len(loads) == 4
+        assert all(
+            index.docstore_base <= u.addr
+            < index.docstore_base + index.num_docs * index.doc_bytes
+            for u in loads
+        )
+
+
+class TestWebSearchApp:
+    def test_serves_queries(self):
+        app = WebSearchApp(seed=6, num_terms=2_000, num_docs=10_000)
+        list(app.trace(0, 20_000))
+        assert app.queries_served > 3
+
+    def test_returns_results(self):
+        app = WebSearchApp(seed=6, num_terms=2_000, num_docs=10_000)
+        list(app.trace(0, 40_000))
+        assert app.results_returned > 0
+
+    def test_warm_ranges_cover_hot_postings(self):
+        app = WebSearchApp(seed=6, num_terms=4_000, num_docs=10_000)
+        ranges = app.warm_ranges()
+        assert len(ranges) > 1000
+
+
+class TestDisjunctiveEvaluation:
+    def test_or_results_appear_in_some_posting_list(self, index_rt):
+        index, rt = index_rt
+        terms = [3, 4]
+        result = index.evaluate_or(rt, terms, max_scan=10_000)
+        for doc in result.doc_ids:
+            assert any(doc in index.postings(t) for t in terms)
+
+    def test_or_is_a_superset_of_and(self, index_rt):
+        index, rt = index_rt
+        terms = [1, 2]
+        both = index.evaluate_and(rt, terms, max_scan=10_000)
+        union = index.evaluate_or(rt, terms, max_scan=10_000)
+        assert union.postings_scanned >= 0
+        assert len(union.doc_ids) >= min(len(both.doc_ids), 10) or \
+            len(union.doc_ids) == 10
+
+    def test_or_scores_rank_multi_term_matches_higher(self, index_rt):
+        index, rt = index_rt
+        result = index.evaluate_or(rt, [5, 6], max_scan=10_000)
+        assert result.scores == sorted(result.scores, reverse=True)
+
+    def test_or_with_unknown_terms_only(self, index_rt):
+        index, rt = index_rt
+        assert index.evaluate_or(rt, [10**6]).doc_ids == []

@@ -1,0 +1,149 @@
+"""Web Frontend: interpreter semantics and Olio page behaviour."""
+
+import pytest
+
+from repro.apps.webstack import CompiledScript, Opcode, PhpInterpreter, WebFrontendApp
+from repro.apps.webstack.olio import ScriptAssembler, all_pages, event_list
+
+
+class TestInterpreterSemantics:
+    def run_program(self, code, args=None):
+        interp = PhpInterpreter()
+        script = CompiledScript("t", code)
+        return interp.execute(script, args=args)
+
+    def test_arithmetic(self):
+        result = self.run_program([
+            (Opcode.PUSH, 6),
+            (Opcode.PUSH, 7),
+            (Opcode.MUL, 0),
+            (Opcode.RET, 0),
+        ])
+        assert result.return_value == 42
+
+    def test_locals_and_sub(self):
+        result = self.run_program([
+            (Opcode.PUSH, 10),
+            (Opcode.STORE, 0),
+            (Opcode.LOAD, 0),
+            (Opcode.PUSH, 4),
+            (Opcode.SUB, 0),
+            (Opcode.RET, 0),
+        ])
+        assert result.return_value == 6
+
+    def test_conditional_jump(self):
+        # if (0 < 1) echo 111 else echo 222
+        result = self.run_program([
+            (Opcode.PUSH, 0),
+            (Opcode.PUSH, 1),
+            (Opcode.CMP_LT, 0),
+            (Opcode.JZ, 6),
+            (Opcode.PUSH, 111),
+            (Opcode.ECHO, 0),
+            (Opcode.RET, 0),
+        ])
+        assert result.output == [111]
+
+    def test_loop_executes_n_times(self):
+        asm = ScriptAssembler("loop")
+        asm.counted_loop(0, 5, lambda a: (a.emit(Opcode.PUSH, 9),
+                                          a.emit(Opcode.ECHO)))
+        asm.emit(Opcode.PUSH, 1)
+        asm.emit(Opcode.RET)
+        result = PhpInterpreter().execute(asm.build())
+        assert result.output == [9] * 5
+
+    def test_db_calls_recorded(self):
+        result = self.run_program([
+            (Opcode.CALL_DB, 3),
+            (Opcode.CALL_DB, 5),
+            (Opcode.RET, 0),
+        ])
+        assert result.db_queries == [3, 5]
+
+    def test_concat_builds_strings(self):
+        result = self.run_program([
+            (Opcode.PUSH, 1),
+            (Opcode.PUSH, 2),
+            (Opcode.CONCAT, 0),
+            (Opcode.ECHO, 0),
+        ])
+        assert result.output == ["12"]
+
+    def test_args_passed_to_locals(self):
+        result = self.run_program(
+            [(Opcode.LOAD, 0), (Opcode.RET, 0)], args={0: 77}
+        )
+        assert result.return_value == 77
+
+    def test_opcode_budget_enforced(self):
+        infinite = [(Opcode.JMP, 0)]
+        with pytest.raises(RuntimeError):
+            self.run_program(infinite)
+
+
+class TestOlioPages:
+    def test_all_pages_compile_and_run(self):
+        interp = PhpInterpreter()
+        for name, script in all_pages().items():
+            result = interp.execute(script, args={0: 5})
+            assert result.return_value == 1, name
+            assert result.opcodes_executed > 50, name
+
+    def test_event_list_queries_events_and_tags(self):
+        result = PhpInterpreter().execute(event_list())
+        assert 1 in result.db_queries  # upcoming events
+        assert 2 in result.db_queries  # popular tags
+
+    def test_pages_produce_output(self):
+        interp = PhpInterpreter()
+        for name, script in all_pages().items():
+            result = interp.execute(script, args={0: 1})
+            if name != "add_event":
+                assert result.output, name
+
+    def test_row_loop_scales_output(self):
+        short = PhpInterpreter().execute(event_list(page_rows=5))
+        long = PhpInterpreter().execute(event_list(page_rows=50))
+        assert len(long.output) > len(short.output)
+
+
+class TestWebFrontendApp:
+    def test_serves_pages(self):
+        app = WebFrontendApp(seed=4, num_clients=8)
+        list(app.trace(0, 20_000))
+        assert app.pages_served > 3
+        assert app.db_roundtrips > 0
+
+    def test_interpreter_dominates_instruction_stream(self):
+        app = WebFrontendApp(seed=4, num_clients=8)
+        trace = list(app.trace(0, 15_000))
+        handlers = app.fns["zend_handlers"]
+        in_handlers = sum(
+            1 for u in trace
+            if handlers.base <= u.pc < handlers.base + handlers.size
+        )
+        assert in_handlers / len(trace) > 0.2
+
+    def test_static_files_served_through_page_cache(self):
+        app = WebFrontendApp(seed=4, num_clients=8)
+        list(app.trace(0, 60_000))
+        assert app.kernel.pages_cached > 0
+
+
+class TestApcCache:
+    def test_first_request_compiles_then_caches(self):
+        app = WebFrontendApp(seed=4, num_clients=8)
+        list(app.trace(0, 60_000))
+        assert app.apc_misses <= len(app.scripts)
+        assert app.apc_hits > 0
+
+    def test_warm_marks_steady_state_compiled(self):
+        from repro.uarch.hierarchy import MemoryHierarchy
+        from repro.uarch.params import MachineParams
+
+        app = WebFrontendApp(seed=4, num_clients=8)
+        app.warm(MemoryHierarchy(MachineParams()), trace_uops=2_000)
+        list(app.trace(0, 10_000))
+        assert app.apc_misses == 0  # nothing recompiles at steady state

@@ -1,0 +1,34 @@
+"""Shared fixtures: small machine configurations and cached workload runs.
+
+Workload measurements reuse the runner's process-level cache, so a
+session's tests share runs with identical configurations instead of
+re-simulating.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runner import RunConfig
+from repro.uarch.params import MachineParams
+
+
+TINY = RunConfig(window_uops=12_000, warm_uops=4_000)
+SMALL = RunConfig(window_uops=30_000, warm_uops=10_000)
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> RunConfig:
+    """A few thousand micro-ops: enough for smoke/shape-light checks."""
+    return TINY
+
+
+@pytest.fixture(scope="session")
+def small_config() -> RunConfig:
+    """The configuration used by the qualitative shape tests."""
+    return SMALL
+
+
+@pytest.fixture()
+def params() -> MachineParams:
+    return MachineParams()

@@ -1,0 +1,99 @@
+"""Execution-time breakdown and derived metrics."""
+
+import pytest
+
+from repro.core import analysis
+from repro.core.breakdown import ExecutionBreakdown, compute_breakdown
+from repro.uarch.core import CoreResult
+
+
+def result(**kw) -> CoreResult:
+    base = dict(
+        cycles=1000, instructions=500, os_instructions=100,
+        committing_cycles=300, committing_cycles_os=60,
+        stalled_cycles=700, stalled_cycles_os=140,
+        memory_cycles=600, mlp=2.0,
+        l1i_misses=50, l1i_misses_os=10, l2i_misses=20, l2i_misses_os=5,
+        l2_demand_hits=80, l2_demand_accesses=100,
+        llc_data_refs=40, remote_dirty_hits=4, remote_dirty_hits_os=1,
+        offchip_bytes=64_000, offchip_bytes_os=16_000,
+        branches=100, branch_mispredicts=10,
+    )
+    base.update(kw)
+    return CoreResult(**base)
+
+
+class TestBreakdown:
+    def test_fractions_sum_to_one(self):
+        b = compute_breakdown(result())
+        assert b.stalled + b.committing == pytest.approx(1.0)
+        b.validate()
+
+    def test_component_values(self):
+        b = compute_breakdown(result())
+        assert b.stalled_os == pytest.approx(0.14)
+        assert b.stalled_app == pytest.approx(0.56)
+        assert b.committing_os == pytest.approx(0.06)
+        assert b.committing_app == pytest.approx(0.24)
+        assert b.memory == pytest.approx(0.6)
+
+    def test_memory_capped_at_one(self):
+        b = compute_breakdown(result(memory_cycles=5000))
+        assert b.memory == 1.0
+
+    def test_zero_cycles(self):
+        b = compute_breakdown(CoreResult())
+        assert b.stalled == b.committing == b.memory == 0.0
+
+    def test_validate_rejects_bad_breakdown(self):
+        bad = ExecutionBreakdown(0.5, 0.1, 0.1, 0.1, 0.5)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+
+class TestAnalysis:
+    def test_ipc(self):
+        assert analysis.ipc(result()) == pytest.approx(0.5)
+
+    def test_application_ipc_excludes_os(self):
+        assert analysis.application_ipc(result()) == pytest.approx(0.4)
+
+    def test_instruction_mpki(self):
+        r = result()
+        assert analysis.instruction_mpki(r) == pytest.approx(100.0)
+        assert analysis.instruction_mpki(r, os_only=True) == pytest.approx(20.0)
+        assert analysis.instruction_mpki(r, "l2") == pytest.approx(40.0)
+
+    def test_mpki_unknown_level(self):
+        with pytest.raises(ValueError):
+            analysis.instruction_mpki(result(), "l4")
+
+    def test_l2_hit_ratio(self):
+        assert analysis.l2_hit_ratio(result()) == pytest.approx(0.8)
+        assert analysis.l2_hit_ratio(CoreResult()) == 0.0
+
+    def test_remote_dirty_fraction(self):
+        r = result()
+        assert analysis.remote_dirty_fraction(r) == pytest.approx(0.1)
+        assert analysis.remote_dirty_fraction(r, os_only=True) == pytest.approx(0.025)
+
+    def test_bandwidth_utilization(self):
+        r = result()
+        # 64 kB over 1000 cycles at 2.93 GHz vs a 8 GB/s per-core share.
+        util = analysis.bandwidth_utilization(r, 2.93e9, 32e9, 4)
+        expected = (64_000 / (1000 / 2.93e9)) / 8e9
+        assert util == pytest.approx(expected)
+
+    def test_branch_mispredict_rate(self):
+        assert analysis.branch_mispredict_rate(result()) == pytest.approx(0.1)
+
+    def test_os_instruction_fraction(self):
+        assert analysis.os_instruction_fraction(result()) == pytest.approx(0.2)
+
+    def test_zero_guards(self):
+        empty = CoreResult()
+        assert analysis.ipc(empty) == 0.0
+        assert analysis.application_ipc(empty) == 0.0
+        assert analysis.branch_mispredict_rate(empty) == 0.0
+        assert analysis.os_instruction_fraction(empty) == 0.0
+        assert analysis.bandwidth_utilization(empty, 1e9, 1e9) == 0.0

@@ -1,0 +1,113 @@
+"""The CLI entry point and experiment-module smoke tests."""
+
+import pytest
+
+from repro.__main__ import _parse_config, main
+from repro.core.experiments import ALL_EXPERIMENTS, ablations, table1
+from repro.core.runner import RunConfig
+
+
+class TestCliParsing:
+    def test_defaults(self):
+        args, config, bars = _parse_config(["figure1"])
+        assert args == ["figure1"]
+        assert config.window_uops == 80_000
+        assert config.warm_uops == 80_000 // 3
+        assert not bars
+
+    def test_window_and_warm_flags(self):
+        args, config, bars = _parse_config(["run", "tpc-c", "--window", "5000",
+                                            "--warm", "1000", "--bars"])
+        assert args == ["run", "tpc-c"]
+        assert config.window_uops == 5000
+        assert config.warm_uops == 1000
+        assert bars
+
+
+class TestCliCommands:
+    def test_help(self, capsys):
+        assert main(["help"]) == 0
+        assert "figure1" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "data-serving" in out
+        assert "tpc-e" in out
+
+    def test_unknown_command(self, capsys):
+        assert main(["figure99"]) == 2
+
+    def test_run_requires_workload(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+    def test_run_workload(self, capsys):
+        assert main(["run", "sat-solver", "--window", "6000"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC=" in out
+
+    def test_table1_command(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Reorder buffer" in capsys.readouterr().out
+
+
+class TestExperimentRegistry:
+    def test_every_figure_registered(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table1", "figure1", "figure2", "figure3", "figure4",
+            "figure5", "figure6", "figure7",
+        }
+
+    def test_every_module_has_run(self):
+        for name, module in ALL_EXPERIMENTS.items():
+            assert callable(module.run), name
+
+
+class TestExperimentSmoke:
+    """Cheap experiments run end-to-end at a tiny window."""
+
+    def test_table1(self, tiny_config):
+        table = table1.run(tiny_config)
+        assert len(table.rows) == 10
+
+    def test_figure2_rows_cover_the_suite(self, tiny_config):
+        from repro.core.experiments import figure2
+
+        table = figure2.run(tiny_config)
+        assert len(table.rows) == 14
+        for row in table.rows:
+            assert float(row["L1-I (App)"]) >= 0.0
+            assert float(row["L1-I (OS)"]) >= 0.0
+
+    def test_figure7_rows_cover_the_suite(self, tiny_config):
+        from repro.core.experiments import figure7
+
+        table = figure7.run(tiny_config)
+        assert len(table.rows) == 14
+        for row in table.rows:
+            assert 0.0 <= float(row["Application"]) + float(row["OS"]) <= 1.2
+
+
+class TestAblationSmoke:
+    def test_window_size_table_shape(self, tiny_config):
+        table = ablations.window_size(
+            tiny_config, rob_sizes=(32, 128), workloads=["sat-solver"]
+        )
+        row = table.rows[0]
+        assert "ROB 32" in row and "ROB 128" in row
+
+    def test_llc_latency_table_shape(self, tiny_config):
+        table = ablations.llc_latency(tiny_config, workloads=["mapreduce"])
+        assert float(table.rows[0]["Speedup"]) > 0.0
+
+
+class TestCliTrace:
+    def test_trace_command_prints_summary(self, capsys):
+        assert main(["trace", "sat-solver", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "# workload=sat-solver" in out
+        assert "memory_fraction=" in out
+
+    def test_trace_requires_workload(self, capsys):
+        assert main(["trace"]) == 2

@@ -1,0 +1,41 @@
+"""Reproducibility: identical seeds produce identical measurements."""
+
+import pytest
+
+from repro.core.runner import RunConfig, run_workload
+from repro.core.workloads import build_app
+
+
+@pytest.mark.parametrize("name", ["data-serving", "web-frontend", "tpc-e"])
+def test_counters_are_bit_identical_across_runs(name):
+    config = RunConfig(window_uops=10_000, warm_uops=4_000, seed=11)
+    first = run_workload(name, config, use_cache=False).result
+    second = run_workload(name, config, use_cache=False).result
+    for field in ("cycles", "instructions", "os_instructions",
+                  "committing_cycles", "stalled_cycles", "memory_cycles",
+                  "l1i_misses", "l2i_misses", "llc_misses", "loads",
+                  "stores", "branches", "branch_mispredicts",
+                  "offchip_bytes", "remote_dirty_hits"):
+        assert getattr(first, field) == getattr(second, field), field
+    assert first.mlp == second.mlp
+
+
+@pytest.mark.parametrize("name", ["web-search"])
+def test_different_seeds_differ(name):
+    base = RunConfig(window_uops=10_000, warm_uops=4_000, seed=11)
+    other = RunConfig(window_uops=10_000, warm_uops=4_000, seed=12)
+    first = run_workload(name, base, use_cache=False).result
+    second = run_workload(name, other, use_cache=False).result
+    assert first.cycles != second.cycles
+
+
+def test_traces_are_deterministic():
+    first = [
+        (u.kind, u.pc, u.addr, u.deps)
+        for u in build_app("sat-solver", seed=5).trace(0, 5_000)
+    ]
+    second = [
+        (u.kind, u.pc, u.addr, u.deps)
+        for u in build_app("sat-solver", seed=5).trace(0, 5_000)
+    ]
+    assert first == second

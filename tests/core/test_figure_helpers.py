@@ -1,0 +1,85 @@
+"""Figure-module helper functions over synthetic tables."""
+
+import pytest
+
+from repro.core.experiments import figure1, figure2, figure3, figure5, figure6, figure7
+from repro.core.report import ExperimentTable
+
+
+def table_with(columns, rows):
+    table = ExperimentTable("t", ["Workload"] + columns)
+    for name, values in rows.items():
+        table.add_row(Workload=name, **values)
+    return table
+
+
+class TestFigure1Helpers:
+    def test_stalled_fraction_sums_components(self):
+        table = table_with(
+            ["Stalled (OS)", "Stalled (App)"],
+            {"X": {"Stalled (OS)": 0.1, "Stalled (App)": 0.6}},
+        )
+        assert figure1.stalled_fraction(table, "X") == pytest.approx(0.7)
+
+
+class TestFigure2Helpers:
+    def test_total_l1i_mpki(self):
+        table = table_with(
+            ["L1-I (App)", "L1-I (OS)"],
+            {"X": {"L1-I (App)": 30.0, "L1-I (OS)": 12.0}},
+        )
+        assert figure2.total_l1i_mpki(table, "X") == pytest.approx(42.0)
+
+
+class TestFigure3Helpers:
+    def test_smt_ipc_gain(self):
+        table = table_with(
+            ["IPC", "IPC (SMT)"],
+            {"X": {"IPC": 0.5, "IPC (SMT)": 0.8}},
+        )
+        assert figure3.smt_ipc_gain(table, "X") == pytest.approx(0.6)
+
+    def test_smt_gain_zero_base(self):
+        table = table_with(
+            ["IPC", "IPC (SMT)"],
+            {"X": {"IPC": 0.0, "IPC (SMT)": 0.8}},
+        )
+        assert figure3.smt_ipc_gain(table, "X") == 0.0
+
+
+class TestFigure5Helpers:
+    def test_prefetcher_benefit_positive_when_baseline_wins(self):
+        table = table_with(
+            ["Baseline (all enabled)", "Adjacent-line (disabled)",
+             "HW prefetcher (disabled)"],
+            {"X": {"Baseline (all enabled)": 0.7,
+                   "Adjacent-line (disabled)": 0.5,
+                   "HW prefetcher (disabled)": 0.6}},
+        )
+        assert figure5.prefetcher_benefit(table, "X") == pytest.approx(0.2)
+
+    def test_prefetcher_benefit_negative_for_pollution(self):
+        table = table_with(
+            ["Baseline (all enabled)", "Adjacent-line (disabled)",
+             "HW prefetcher (disabled)"],
+            {"X": {"Baseline (all enabled)": 0.5,
+                   "Adjacent-line (disabled)": 0.6,
+                   "HW prefetcher (disabled)": 0.55}},
+        )
+        assert figure5.prefetcher_benefit(table, "X") == pytest.approx(-0.05)
+
+
+class TestFigure6And7Helpers:
+    def test_total_sharing(self):
+        table = table_with(
+            ["Application", "OS"],
+            {"X": {"Application": 0.03, "OS": 0.02}},
+        )
+        assert figure6.total_sharing(table, "X") == pytest.approx(0.05)
+
+    def test_total_utilization(self):
+        table = table_with(
+            ["Application", "OS"],
+            {"X": {"Application": 0.1, "OS": 0.05}},
+        )
+        assert figure7.total_utilization(table, "X") == pytest.approx(0.15)

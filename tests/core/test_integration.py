@@ -1,0 +1,62 @@
+"""Integration: every registered workload runs end-to-end with sane counters."""
+
+import pytest
+
+from repro.core import analysis
+from repro.core.breakdown import compute_breakdown
+from repro.core.runner import run_workload
+from repro.core.workloads import ALL_WORKLOADS, MCF
+
+
+@pytest.mark.parametrize(
+    "name", [spec.name for spec in ALL_WORKLOADS] + [MCF.name]
+)
+def test_workload_runs_and_counters_are_sane(name, tiny_config):
+    run = run_workload(name, tiny_config)
+    r = run.result
+    assert r.instructions >= tiny_config.window_uops
+    assert r.cycles > r.instructions / 4  # IPC can never exceed the width
+    # Cycle classification partitions execution.
+    assert r.committing_cycles + r.stalled_cycles == r.cycles
+    assert 0 <= r.memory_cycles <= r.cycles
+    assert 0 <= r.os_instructions <= r.instructions
+    # Derived metrics land in physical ranges.
+    assert 0.0 < analysis.ipc(r) <= 4.0
+    assert 0.0 <= analysis.mlp(r) <= 16.0
+    assert 0.0 <= analysis.l2_hit_ratio(r) <= 1.0
+    breakdown = compute_breakdown(r)
+    breakdown.validate()
+    # The hierarchy really moved data.
+    assert r.loads > 0
+    assert r.branches > 0
+
+
+@pytest.mark.parametrize("name", [spec.name for spec in ALL_WORKLOADS])
+def test_os_tagging_matches_workload_class(name, tiny_config):
+    run = run_workload(name, tiny_config)
+    r = run.result
+    os_fraction = analysis.os_instruction_fraction(r)
+    if name in ("parsec-cpu", "parsec-mem", "specint-cpu", "specint-mem"):
+        assert os_fraction < 0.01
+    elif name == "specweb09":
+        assert os_fraction > 0.4
+    elif name in ("sat-solver",):
+        assert os_fraction < 0.05
+    else:
+        assert 0.0 < os_fraction < 0.6
+
+
+@pytest.mark.parametrize("name", ["data-serving", "media-streaming",
+                                  "tpc-c", "specweb09"])
+def test_counter_cross_consistency(name, tiny_config):
+    """Hierarchy counters respect containment: misses shrink level by
+    level, and off-chip bytes cover at least the demand misses."""
+    r = run_workload(name, tiny_config).result
+    assert r.l2i_misses <= r.l1i_misses
+    assert r.l1i_misses_os <= r.l1i_misses
+    assert r.l2i_misses_os <= r.l2i_misses
+    assert r.offchip_bytes >= r.llc_misses * 64
+    assert r.offchip_bytes_os <= r.offchip_bytes
+    assert r.remote_dirty_hits <= r.llc_data_refs
+    assert r.superq_busy_cycles <= r.cycles
+    assert r.branch_mispredicts <= r.branches

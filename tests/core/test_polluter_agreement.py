@@ -1,0 +1,49 @@
+"""The two Figure 4 methodologies agree (§3.1 polluters vs LLC resizing)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import analysis
+from repro.core.polluter import polluter_array_bytes, warm_polluter
+from repro.core.runner import RunConfig, run_workload
+from repro.core.workloads import build_app
+from repro.uarch.core import Core
+from repro.uarch.hierarchy import MemoryHierarchy
+
+
+def _resize_user_ipc(name: str, config: RunConfig, size_mb: int) -> float:
+    params = config.params.with_llc_mb(size_mb)
+    run = run_workload(name, replace(config, params=params))
+    return analysis.application_ipc(run.result)
+
+
+def _polluter_user_ipc(name: str, config: RunConfig, size_mb: int) -> float:
+    app = build_app(name, seed=config.seed)
+    hierarchy = MemoryHierarchy(config.params)
+    array_bytes = polluter_array_bytes(config.params, size_mb)
+    warm_polluter(hierarchy.llc, array_bytes)
+    app.warm(hierarchy, trace_uops=config.warm_uops)
+    warm_polluter(hierarchy.llc, array_bytes)  # polluters run continuously
+    core = Core(config.params, hierarchy)
+    result = core.run([app.trace(0, config.window_uops)])
+    return analysis.application_ipc(result)
+
+
+@pytest.mark.parametrize("size_mb", [4, 8])
+def test_polluter_and_resize_methods_agree(size_mb):
+    """User-IPC at an effective capacity should be (approximately) the
+    same whether the capacity is taken away by polluter residency or by
+    shrinking the cache — the cross-validation the paper could not do."""
+    config = RunConfig(window_uops=30_000, warm_uops=10_000)
+    name = "web-search"
+    resized = _resize_user_ipc(name, config, size_mb)
+    polluted = _polluter_user_ipc(name, config, size_mb)
+    assert polluted == pytest.approx(resized, rel=0.25)
+
+
+def test_polluter_degrades_monotonically():
+    config = RunConfig(window_uops=24_000, warm_uops=8_000)
+    generous = _polluter_user_ipc("web-search", config, 10)
+    tight = _polluter_user_ipc("web-search", config, 4)
+    assert tight <= generous * 1.05  # allow small noise, forbid inversions

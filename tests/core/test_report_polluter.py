@@ -1,0 +1,143 @@
+"""Report tables and the cache-polluter methodology."""
+
+import pytest
+
+from repro.core.polluter import (
+    polluted_params,
+    polluter_array_bytes,
+    polluter_trace,
+    warm_polluter,
+)
+from repro.core.report import ExperimentTable
+from repro.uarch.cache import Cache
+from repro.uarch.params import MachineParams
+from repro.uarch.uop import OpKind
+
+
+class TestExperimentTable:
+    def make(self):
+        table = ExperimentTable("T", ["a", "b"])
+        table.add_row(a="x", b=1.0)
+        table.add_row(a="y", b=2.5)
+        return table
+
+    def test_rendering_includes_everything(self):
+        text = self.make().to_text()
+        assert "T" in text
+        assert "x" in text and "2.500" in text
+
+    def test_column_extraction(self):
+        assert self.make().column("b") == [1.0, 2.5]
+
+    def test_row_for(self):
+        assert self.make().row_for("a", "y")["b"] == 2.5
+        with pytest.raises(KeyError):
+            self.make().row_for("a", "z")
+
+    def test_notes_rendered(self):
+        table = self.make()
+        table.notes.append("hello")
+        assert "note: hello" in table.to_text()
+
+
+class TestPolluter:
+    def test_trace_emits_requested_uops(self):
+        trace = list(polluter_trace(1 << 20, 1000, seed=1))
+        assert len(trace) == 1000
+
+    def test_loads_cover_the_array_without_repeats_first(self):
+        array = 64 * 100
+        trace = [u for u in polluter_trace(array, 200, seed=1)
+                 if u.kind == OpKind.LOAD]
+        addresses = [u.addr for u in trace[:100]]
+        assert len(set(addresses)) == len(addresses)
+
+    def test_warm_polluter_fills_llc(self):
+        params = MachineParams()
+        llc = Cache("LLC", params.llc)
+        warm_polluter(llc, 1 << 20)
+        assert llc.resident_lines() == (1 << 20) // 64
+
+    def test_polluted_params_resizes(self):
+        params = polluted_params(MachineParams(), 6)
+        assert params.llc.size_bytes == 6 << 20
+
+    def test_array_bytes_complement(self):
+        params = MachineParams()
+        assert polluter_array_bytes(params, 4) == 8 << 20
+        with pytest.raises(ValueError):
+            polluter_array_bytes(params, 13)
+
+    def test_polluter_achieves_high_llc_hit_ratio(self):
+        """§3.1: 'the polluter threads achieve nearly 100% hit ratio in
+        the LLC' — verify with the real hierarchy."""
+        from repro.uarch.hierarchy import MemoryHierarchy
+        from repro.uarch.params import PrefetcherParams
+
+        params = MachineParams().with_prefetchers(
+            PrefetcherParams(False, False, False, False)
+        )
+        hier = MemoryHierarchy(params)
+        array = 4 << 20
+        warm_polluter(hier.llc, array)
+        hits = misses = 0
+        for uop in polluter_trace(array, 6000, seed=2):
+            if uop.kind != OpKind.LOAD:
+                continue
+            res = hier.access(uop.addr)
+            if res.off_chip:
+                misses += 1
+            elif res.off_core:
+                hits += 1
+        assert hits / (hits + misses) > 0.95
+
+
+class TestExports:
+    def make(self):
+        table = ExperimentTable("T", ["a", "b"])
+        table.add_row(a="x", b=1.0)
+        table.add_row(a="y", b=2.5)
+        return table
+
+    def test_csv_round_trips(self):
+        import csv
+        import io
+
+        rows = list(csv.reader(io.StringIO(self.make().to_csv())))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["x", "1.0"]
+        assert rows[2] == ["y", "2.5"]
+
+    def test_markdown_contains_header_and_rows(self):
+        table = self.make()
+        table.notes.append("a note")
+        md = table.to_markdown()
+        assert "| a | b |" in md
+        assert "| y | 2.500 |" in md
+        assert "*a note*" in md
+
+
+class TestAsciiBars:
+    def make(self):
+        table = ExperimentTable("Chart", ["Workload", "IPC"])
+        table.add_row(Workload="alpha", IPC=0.5)
+        table.add_row(Workload="beta", IPC=1.0)
+        return table
+
+    def test_bars_scale_to_the_maximum(self):
+        chart = self.make().to_bars("Workload", ["IPC"], width=10)
+        lines = chart.splitlines()
+        alpha = next(l for l in lines if l.startswith("alpha"))
+        beta = next(l for l in lines if l.startswith("beta"))
+        assert beta.count("█") == 10
+        assert alpha.count("█") == 5
+
+    def test_auto_detects_numeric_columns(self):
+        chart = self.make().to_bars("Workload", width=8)
+        assert "0.500" in chart and "1.000" in chart
+
+    def test_rejects_tables_without_numbers(self):
+        table = ExperimentTable("T", ["a", "b"])
+        table.add_row(a="x", b="y")
+        with pytest.raises(ValueError):
+            table.to_bars("a")

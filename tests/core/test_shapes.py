@@ -1,0 +1,193 @@
+"""Qualitative shape tests: the paper's findings, §4.
+
+These assert the *shape* of each result — who wins, by roughly what
+factor, where crossovers fall — on reduced measurement windows.  The
+benchmark harness reproduces the full tables; these tests guard the
+claims against regressions.
+"""
+
+import pytest
+
+from repro.core import analysis
+from repro.core.breakdown import compute_breakdown
+from repro.core.runner import (
+    RunConfig,
+    metric_mean,
+    run_workload,
+    run_workload_members,
+    run_workload_smt,
+)
+from repro.core.workloads import SCALE_OUT
+
+SCALE_OUT_NAMES = [spec.name for spec in SCALE_OUT]
+
+
+def mean_metric(name, config, metric):
+    return metric_mean(run_workload_members(name, config), metric)
+
+
+class TestFigure1Shapes:
+    """Scale-out workloads stall most cycles, predominantly on memory."""
+
+    @pytest.mark.parametrize("name", SCALE_OUT_NAMES)
+    def test_scale_out_stalls_dominate(self, name, small_config):
+        run = run_workload(name, small_config)
+        breakdown = compute_breakdown(run.result)
+        assert breakdown.stalled > 0.5, name
+
+    @pytest.mark.parametrize("name", SCALE_OUT_NAMES)
+    def test_scale_out_stalls_are_memory_bound(self, name, small_config):
+        run = run_workload(name, small_config)
+        breakdown = compute_breakdown(run.result)
+        # Web Frontend is the exception: its interpreter stalls the
+        # frontend (dispatch) more than the data path.
+        floor = 0.25 if name == "web-frontend" else 0.5
+        assert breakdown.memory > floor * breakdown.stalled, name
+
+    def test_cpu_intensive_benchmarks_stall_far_less_than_scale_out(
+        self, small_config
+    ):
+        for group in ("parsec-cpu", "specint-cpu"):
+            runs = run_workload_members(group, small_config)
+            stalled = sum(
+                compute_breakdown(r.result).stalled for r in runs
+            ) / len(runs)
+            scale_out = compute_breakdown(
+                run_workload("data-serving", small_config).result
+            ).stalled
+            assert stalled < 0.65, group
+            assert stalled < scale_out - 0.15, group
+
+    def test_tpcc_is_the_most_stalled_server_workload(self, small_config):
+        tpcc = compute_breakdown(run_workload("tpc-c", small_config).result)
+        assert tpcc.stalled > 0.8  # "over 80% of the time stalled" (§4)
+
+
+class TestFigure2Shapes:
+    """Scale-out instruction working sets overwhelm the L1-I."""
+
+    @pytest.mark.parametrize("name", SCALE_OUT_NAMES)
+    def test_scale_out_l1i_mpki_is_order_of_magnitude_above_desktop(
+        self, name, small_config
+    ):
+        scale_out = mean_metric(name, small_config, analysis.instruction_mpki)
+        desktop = mean_metric("parsec-cpu", small_config,
+                              analysis.instruction_mpki)
+        assert scale_out > 10 * max(desktop, 0.2), name
+
+    def test_desktop_and_parallel_have_tiny_instruction_working_sets(
+        self, small_config
+    ):
+        for group in ("parsec-cpu", "parsec-mem", "specint-cpu", "specint-mem"):
+            mpki = mean_metric(group, small_config, analysis.instruction_mpki)
+            assert mpki < 3.0, group
+
+    def test_traditional_server_resembles_scale_out(self, small_config):
+        tpcc = mean_metric("tpc-c", small_config, analysis.instruction_mpki)
+        assert tpcc > 20.0
+
+    def test_scale_out_os_instruction_misses_below_traditional_server(
+        self, small_config
+    ):
+        """§4.1: the OS instruction working set of scale-out workloads is
+        smaller than traditional server workloads'."""
+        os_mpki = lambda r: analysis.instruction_mpki(r, os_only=True)
+        scale_out = max(
+            mean_metric(n, small_config, os_mpki)
+            for n in ("data-serving", "media-streaming", "web-search")
+        )
+        specweb = mean_metric("specweb09", small_config, os_mpki)
+        assert specweb > scale_out * 0.9
+
+    @pytest.mark.parametrize("name", ["data-serving", "media-streaming",
+                                      "web-search", "tpc-c"])
+    def test_l2_instruction_misses_significant(self, name, small_config):
+        l2_mpki = mean_metric(
+            name, small_config, lambda r: analysis.instruction_mpki(r, "l2")
+        )
+        assert l2_mpki > 3.0, name
+
+
+class TestFigure3Shapes:
+    """Low IPC/MLP for scale-out; SMT helps substantially."""
+
+    @pytest.mark.parametrize("name", SCALE_OUT_NAMES)
+    def test_scale_out_ipc_modest(self, name, small_config):
+        ipc = mean_metric(name, small_config, analysis.ipc)
+        assert 0.15 < ipc < 1.3, name
+
+    def test_cpu_intensive_ipc_well_above_scale_out(self, small_config):
+        desktop = mean_metric("parsec-cpu", small_config, analysis.ipc)
+        scale_out = max(
+            mean_metric(n, small_config, analysis.ipc) for n in SCALE_OUT_NAMES
+        )
+        assert desktop > 1.3
+        assert desktop > scale_out
+
+    @pytest.mark.parametrize("name", SCALE_OUT_NAMES)
+    def test_scale_out_mlp_is_low(self, name, small_config):
+        mlp = mean_metric(name, small_config, analysis.mlp)
+        assert mlp < 4.0, name
+
+    def test_web_frontend_has_the_lowest_scale_out_mlp(self, small_config):
+        mlps = {
+            name: mean_metric(name, small_config, analysis.mlp)
+            for name in SCALE_OUT_NAMES
+        }
+        assert min(mlps, key=mlps.get) == "web-frontend"
+
+    @pytest.mark.parametrize("name", SCALE_OUT_NAMES)
+    def test_smt_improves_scale_out_ipc_substantially(self, name, small_config):
+        base = run_workload(name, small_config)
+        smt = run_workload_smt(name, small_config)
+        gain = analysis.ipc(smt.result) / analysis.ipc(base.result) - 1.0
+        assert gain > 0.3, name  # the paper reports 39-69%
+
+    @pytest.mark.parametrize("name", ["media-streaming", "mapreduce"])
+    def test_smt_raises_mlp(self, name, small_config):
+        base = run_workload(name, small_config)
+        smt = run_workload_smt(name, small_config)
+        assert smt.result.mlp > 1.2 * base.result.mlp, name
+
+    def test_smt_raises_mlp_for_data_serving(self, small_config):
+        base = run_workload("data-serving", small_config)
+        smt = run_workload_smt("data-serving", small_config)
+        assert smt.result.mlp > 1.05 * base.result.mlp
+
+
+class TestFigure4Shapes:
+    """LLC capacity: scale-out flat above 4-6 MB; mcf keeps scaling."""
+
+    def test_mcf_scales_with_llc_while_scale_out_saturates(self):
+        from dataclasses import replace
+
+        config = RunConfig(window_uops=30_000, warm_uops=10_000)
+
+        def user_ipc(name, llc_mb):
+            params = config.params.with_llc_mb(llc_mb)
+            run = run_workload(name, replace(config, params=params))
+            return analysis.application_ipc(run.result)
+
+        mcf_gain = user_ipc("specint-mcf", 11) / user_ipc("specint-mcf", 4)
+        search_gain = user_ipc("web-search", 11) / user_ipc("web-search", 6)
+        assert mcf_gain > 1.1
+        assert search_gain < mcf_gain
+        assert search_gain < 1.25
+
+
+class TestFigure7Shapes:
+    """Off-chip bandwidth is over-provisioned for scale-out workloads."""
+
+    @pytest.mark.parametrize("name", SCALE_OUT_NAMES)
+    def test_scale_out_uses_a_fraction_of_bandwidth(self, name, small_config):
+        runs = run_workload_members(name, small_config)
+        util = sum(r.bandwidth_utilization() for r in runs) / len(runs)
+        assert util < 0.30, name
+
+    def test_media_streaming_is_the_scale_out_maximum(self, small_config):
+        config = small_config.scaled(2)  # its streams need a longer window
+        utils = {}
+        for name in SCALE_OUT_NAMES:
+            runs = run_workload_members(name, config)
+            utils[name] = sum(r.bandwidth_utilization() for r in runs) / len(runs)
+        assert max(utils, key=utils.get) == "media-streaming"

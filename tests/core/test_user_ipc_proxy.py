@@ -1,0 +1,41 @@
+"""§4.3 footnote 3: user-IPC is proportional to application throughput.
+
+The paper verifies that relationship for its workloads before using
+user-IPC as the Figure 4 performance metric.  We verify it here too:
+across LLC capacities, the change in requests completed per cycle
+tracks the change in application (user) IPC.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import analysis
+from repro.core.runner import RunConfig
+from repro.core.workloads import build_app
+from repro.uarch.core import Core
+from repro.uarch.hierarchy import MemoryHierarchy
+
+
+def measure(name: str, llc_mb: int, config: RunConfig):
+    params = config.params.with_llc_mb(llc_mb)
+    app = build_app(name, seed=config.seed)
+    hierarchy = MemoryHierarchy(params)
+    app.warm(hierarchy, trace_uops=config.warm_uops)
+    requests_before = app.requests_served
+    core = Core(params, hierarchy)
+    result = core.run([app.trace(0, config.window_uops)])
+    requests = app.requests_served - requests_before
+    return analysis.application_ipc(result), requests / result.cycles
+
+
+@pytest.mark.parametrize("name", ["data-serving"])
+def test_user_ipc_tracks_request_throughput(name):
+    config = RunConfig(window_uops=40_000, warm_uops=14_000)
+    ipc_big, tput_big = measure(name, 12, config)
+    ipc_small, tput_small = measure(name, 4, config)
+    assert tput_big > 0 and tput_small > 0
+    ipc_ratio = ipc_small / ipc_big
+    tput_ratio = tput_small / tput_big
+    # Proportionality: the two ratios agree within measurement noise.
+    assert ipc_ratio == pytest.approx(tput_ratio, rel=0.2)

@@ -1,0 +1,65 @@
+"""Workload registry."""
+
+import pytest
+
+from repro.core.workloads import (
+    ALL_WORKLOADS,
+    MCF,
+    REGISTRY,
+    SCALE_OUT,
+    SERVER_GROUP,
+    TRADITIONAL,
+    build_app,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_fourteen_suite_workloads(self):
+        assert len(ALL_WORKLOADS) == 14
+        assert len(SCALE_OUT) == 6
+        assert len(TRADITIONAL) == 8
+
+    def test_scale_out_matches_cloudsuite(self):
+        names = {spec.name for spec in SCALE_OUT}
+        assert names == {
+            "data-serving", "mapreduce", "media-streaming",
+            "sat-solver", "web-frontend", "web-search",
+        }
+
+    def test_traditional_matches_section_3_3(self):
+        names = {spec.name for spec in TRADITIONAL}
+        assert names == {
+            "parsec-cpu", "parsec-mem", "specint-cpu", "specint-mem",
+            "specweb09", "tpc-c", "tpc-e", "web-backend",
+        }
+
+    def test_groups(self):
+        assert all(spec.group == "scale-out" for spec in SCALE_OUT)
+        assert REGISTRY["tpc-c"].group == "oltp"
+        assert REGISTRY["parsec-cpu"].group == "parallel"
+
+    def test_server_group_for_figure4(self):
+        assert set(SERVER_GROUP) == {"tpc-c", "tpc-e", "web-backend"}
+
+    def test_mcf_registered_but_not_in_suite(self):
+        assert MCF.name in REGISTRY
+        assert MCF.name not in {spec.name for spec in ALL_WORKLOADS}
+
+    def test_workload_names(self):
+        assert len(workload_names()) == 14
+        assert len(workload_names(include_mcf=True)) == 15
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            build_app("quake-server")
+
+    def test_multithreaded_flags(self):
+        assert REGISTRY["data-serving"].multithreaded
+        assert not REGISTRY["sat-solver"].multithreaded
+        assert not REGISTRY["parsec-cpu"].multithreaded
+
+    @pytest.mark.parametrize("name", ["mapreduce", "specweb09"])
+    def test_build_app_constructs(self, name):
+        app = build_app(name, seed=1)
+        assert app.name == name

@@ -1,0 +1,80 @@
+"""Request distributions: Zipf skew, bounds, determinism."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.load.distributions import ScrambledZipf, UniformGenerator, ZipfGenerator
+
+
+class TestUniform:
+    def test_bounds(self):
+        gen = UniformGenerator(100, seed=1)
+        draws = [gen.next() for _ in range(2000)]
+        assert all(0 <= d < 100 for d in draws)
+        assert len(set(draws)) > 80
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            UniformGenerator(0)
+
+
+class TestZipf:
+    def test_bounds(self):
+        gen = ZipfGenerator(1000, seed=2)
+        assert all(0 <= gen.next() < 1000 for _ in range(5000))
+
+    def test_rank_zero_dominates(self):
+        gen = ZipfGenerator(10_000, seed=2)
+        counts = Counter(gen.next() for _ in range(20_000))
+        assert counts[0] > counts.get(100, 0) > 0 or counts[0] > 100
+
+    def test_head_mass_matches_zipf_law(self):
+        gen = ZipfGenerator(100_000, theta=0.99, seed=3)
+        draws = [gen.next() for _ in range(30_000)]
+        head = sum(1 for d in draws if d < 1000)
+        # Zipf(0.99): P(rank < 1%) is large (≈ 0.6 for this n).
+        assert head / len(draws) > 0.4
+
+    def test_small_keyspaces_work(self):
+        for n in (1, 2, 3):
+            gen = ZipfGenerator(n, seed=4)
+            assert all(0 <= gen.next() < n for _ in range(200))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(10, theta=1.5)
+
+    def test_deterministic_per_seed(self):
+        a = ZipfGenerator(500, seed=9)
+        b = ZipfGenerator(500, seed=9)
+        assert [a.next() for _ in range(50)] == [b.next() for _ in range(50)]
+
+
+class TestScrambledZipf:
+    def test_hot_keys_are_scattered(self):
+        gen = ScrambledZipf(100_000, seed=5)
+        draws = [gen.next() for _ in range(5000)]
+        hot = [key for key, count in Counter(draws).most_common(10)]
+        # Scrambling: the popular keys are not clustered near zero.
+        assert max(hot) > 10_000
+
+    def test_bounds(self):
+        gen = ScrambledZipf(777, seed=6)
+        assert all(0 <= gen.next() < 777 for _ in range(2000))
+
+    def test_fnv_is_deterministic(self):
+        assert ScrambledZipf._fnv(12345) == ScrambledZipf._fnv(12345)
+        assert ScrambledZipf._fnv(1) != ScrambledZipf._fnv(2)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(min_value=3, max_value=100_000),
+       seed=st.integers(min_value=0, max_value=100))
+def test_property_zipf_always_in_range(n, seed):
+    gen = ZipfGenerator(n, seed=seed)
+    for _ in range(100):
+        assert 0 <= gen.next() < n

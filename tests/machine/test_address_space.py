@@ -1,0 +1,112 @@
+"""Simulated address space: allocation, regions, ASIDs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.address_space import AddressSpace, set_default_asid
+
+
+@pytest.fixture(autouse=True)
+def _reset_asid():
+    set_default_asid(0)
+    yield
+    set_default_asid(0)
+
+
+class TestAllocation:
+    def test_alloc_returns_monotonic_addresses(self):
+        space = AddressSpace()
+        a = space.alloc(100)
+        b = space.alloc(100)
+        assert b >= a + 100
+
+    def test_alignment(self):
+        space = AddressSpace()
+        addr = space.alloc(10, align=64)
+        assert addr % 64 == 0
+        addr2 = space.alloc(1, align=4096)
+        assert addr2 % 4096 == 0
+
+    def test_bad_alignment_rejected(self):
+        space = AddressSpace()
+        with pytest.raises(ValueError):
+            space.alloc(10, align=3)
+
+    def test_negative_size_rejected(self):
+        space = AddressSpace()
+        with pytest.raises(ValueError):
+            space.alloc(-1)
+
+    def test_region_exhaustion(self):
+        space = AddressSpace()
+        with pytest.raises(MemoryError):
+            space.alloc(1 << 50, "stack")
+
+    def test_alloc_lines(self):
+        space = AddressSpace()
+        addr = space.alloc_lines(4)
+        assert addr % 64 == 0
+
+    def test_footprint_tracks_usage(self):
+        space = AddressSpace()
+        space.alloc(1000, "heap")
+        space.alloc(500, "os")
+        fp = space.footprint()
+        assert fp["heap"] >= 1000
+        assert fp["os"] >= 500
+
+
+class TestRegions:
+    def test_regions_are_disjoint(self):
+        space = AddressSpace()
+        regions = list(space.regions.values())
+        for i, a in enumerate(regions):
+            for b in regions[i + 1:]:
+                assert a.base + a.size <= b.base or b.base + b.size <= a.base
+
+    def test_owner(self):
+        space = AddressSpace()
+        heap_addr = space.alloc(100, "heap")
+        io_addr = space.alloc(100, "io")
+        assert space.owner(heap_addr) == "heap"
+        assert space.owner(io_addr) == "io"
+        assert space.owner(0x10) is None
+
+    def test_all_four_regions_exist(self):
+        space = AddressSpace()
+        assert set(space.regions) == {"heap", "os", "io", "stack"}
+
+
+class TestAsid:
+    def test_asids_separate_spaces(self):
+        a = AddressSpace(asid=0)
+        b = AddressSpace(asid=1)
+        addr_a = a.alloc(64, "heap")
+        addr_b = b.alloc(64, "heap")
+        assert addr_a != addr_b
+        assert abs(addr_a - addr_b) >= 1 << 44
+
+    def test_default_asid_applies(self):
+        set_default_asid(3)
+        space = AddressSpace()
+        assert space.asid == 3
+
+    def test_explicit_asid_overrides_default(self):
+        set_default_asid(5)
+        assert AddressSpace(asid=1).asid == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=100_000), min_size=1,
+                   max_size=60)
+)
+def test_property_allocations_never_overlap(sizes):
+    space = AddressSpace()
+    intervals = []
+    for size in sizes:
+        base = space.alloc(size, "heap")
+        intervals.append((base, base + size))
+    intervals.sort()
+    for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+        assert e1 <= s2

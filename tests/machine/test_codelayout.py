@@ -1,0 +1,72 @@
+"""Code layout: PC-range allocation for app and kernel functions."""
+
+import pytest
+
+from repro.machine.codelayout import APP_CODE_BASE, OS_CODE_BASE, CodeLayout
+
+
+class TestRegistration:
+    def test_function_gets_line_aligned_range(self):
+        layout = CodeLayout()
+        fn = layout.function("f", 1000)
+        assert fn.size % 64 == 0
+        assert fn.size >= 1000
+
+    def test_functions_do_not_overlap(self):
+        layout = CodeLayout()
+        a = layout.function("a", 4096)
+        b = layout.function("b", 4096)
+        assert b.base >= a.base + a.size
+
+    def test_duplicate_name_rejected(self):
+        layout = CodeLayout()
+        layout.function("f", 4096)
+        with pytest.raises(ValueError):
+            layout.function("f", 4096)
+
+    def test_tiny_function_rejected(self):
+        layout = CodeLayout()
+        with pytest.raises(ValueError):
+            layout.function("f", 32)
+
+    def test_bad_locality_rejected(self):
+        layout = CodeLayout()
+        with pytest.raises(ValueError):
+            layout.function("f", 4096, locality="zigzag")
+
+    def test_lookup(self):
+        layout = CodeLayout()
+        fn = layout.function("hot_loop", 4096)
+        assert layout.get("hot_loop") is fn
+        assert "hot_loop" in layout
+        assert "cold_loop" not in layout
+
+
+class TestOsSplit:
+    def test_os_functions_live_in_os_region(self):
+        layout = CodeLayout()
+        app = layout.function("app_fn", 4096)
+        kernel = layout.function("kernel_fn", 4096, os=True)
+        assert APP_CODE_BASE <= app.base < OS_CODE_BASE
+        assert kernel.base >= OS_CODE_BASE
+        assert kernel.os and not app.os
+
+    def test_footprint_accounting(self):
+        layout = CodeLayout()
+        layout.function("a", 64 * 1024)
+        layout.function("b", 32 * 1024, os=True)
+        assert layout.app_code_bytes() == 64 * 1024
+        assert layout.os_code_bytes() == 32 * 1024
+
+    def test_functions_listing(self):
+        layout = CodeLayout()
+        layout.function("a", 4096)
+        layout.function("b", 4096, os=True)
+        assert {fn.name for fn in layout.functions()} == {"a", "b"}
+
+
+class TestAsid:
+    def test_asid_relocates_code(self):
+        a = CodeLayout(asid=0).function("f", 4096)
+        b = CodeLayout(asid=2).function("f", 4096)
+        assert b.base - a.base == 2 << 44

@@ -1,0 +1,213 @@
+"""OS substrate: network paths, page cache, storage, scheduling."""
+
+import pytest
+
+from repro.machine.address_space import AddressSpace
+from repro.machine.codelayout import CodeLayout
+from repro.machine.os_model import OsKernel
+from repro.machine.runtime import Runtime
+from repro.uarch.uop import OpKind
+
+
+@pytest.fixture()
+def kernel_rt():
+    space = AddressSpace()
+    layout = CodeLayout()
+    kernel = OsKernel(space, layout)
+    main = layout.function("user_main", 8 * 1024)
+    rt = Runtime(layout, main=main)
+    return kernel, rt
+
+
+class TestSend:
+    def test_send_segments_by_mss(self, kernel_rt):
+        kernel, rt = kernel_rt
+        kernel.send(rt, 4000)
+        assert kernel.packets_sent == 3  # ceil(4000 / 1448)
+
+    def test_send_emits_os_tagged_uops(self, kernel_rt):
+        kernel, rt = kernel_rt
+        kernel.send(rt, 100)
+        buf = rt.take()
+        assert buf, "send emitted nothing"
+        # Everything except the user-side call branches is kernel code.
+        os_fraction = sum(u.is_os for u in buf) / len(buf)
+        assert os_fraction > 0.9
+
+    def test_send_copies_payload(self, kernel_rt):
+        kernel, rt = kernel_rt
+        payload = 0x5_0000_0000
+        kernel.send(rt, 1024, payload_base=payload)
+        loads = [u for u in rt.take()
+                 if u.kind == OpKind.LOAD and payload <= u.addr < payload + 1024]
+        assert len(loads) == 16  # 1024 bytes = 16 lines read from the buffer
+
+    def test_sendfile_never_touches_payload(self, kernel_rt):
+        kernel, rt = kernel_rt
+        kernel.sendfile(rt, 16 * 1024)
+        buf = rt.take()
+        skb_base = kernel._skb_pool_base
+        skb_end = skb_base + kernel._skb_pool_slots * 2048
+        payload_ops = [u for u in buf if u.kind in (OpKind.LOAD, OpKind.STORE)
+                       and skb_base <= u.addr < skb_end]
+        assert not payload_ops
+
+    def test_sendfile_is_much_cheaper_than_send(self, kernel_rt):
+        kernel, rt = kernel_rt
+        kernel.send(rt, 16 * 1024)
+        send_cost = len(rt.take())
+        kernel.sendfile(rt, 16 * 1024)
+        sendfile_cost = len(rt.take())
+        assert sendfile_cost < send_cost * 0.6
+
+
+class TestRecv:
+    def test_recv_counts_packets(self, kernel_rt):
+        kernel, rt = kernel_rt
+        kernel.recv(rt, 3000)
+        assert kernel.packets_received == 3
+
+    def test_recv_copies_into_user_buffer(self, kernel_rt):
+        kernel, rt = kernel_rt
+        target = 0x6_0000_0000
+        kernel.recv(rt, 512, into_base=target)
+        stores = [u for u in rt.take()
+                  if u.kind == OpKind.STORE and target <= u.addr < target + 512]
+        assert len(stores) == 8
+
+
+class TestPageCache:
+    def test_first_read_misses_later_reads_hit(self, kernel_rt):
+        kernel, rt = kernel_rt
+        kernel.read_file(rt, file_id=7, offset=0, nbytes=4096)
+        assert kernel.page_cache_misses == 1
+        kernel.read_file(rt, file_id=7, offset=0, nbytes=4096)
+        assert kernel.page_cache_hits == 1
+
+    def test_pages_are_4k_granular(self, kernel_rt):
+        kernel, rt = kernel_rt
+        pages = kernel.read_file(rt, file_id=1, offset=0, nbytes=8192)
+        assert len(pages) == 2
+        assert kernel.pages_cached == 2
+
+    def test_distinct_files_have_distinct_pages(self, kernel_rt):
+        kernel, rt = kernel_rt
+        p1 = kernel.read_file(rt, 1, 0, 4096)
+        p2 = kernel.read_file(rt, 2, 0, 4096)
+        assert p1[0] != p2[0]
+
+    def test_file_cached_helper(self, kernel_rt):
+        kernel, rt = kernel_rt
+        assert not kernel.file_cached(9, 0)
+        kernel.read_file(rt, 9, 0, 100)
+        assert kernel.file_cached(9, 0)
+
+    def test_cache_miss_does_not_emit_dma_stores(self, kernel_rt):
+        """Page fills arrive by DMA; the CPU must not store the page."""
+        kernel, rt = kernel_rt
+        pages = kernel.read_file(rt, 3, 0, 4096)
+        page = pages[0]
+        stores = [u for u in rt.take()
+                  if u.kind == OpKind.STORE and page <= u.addr < page + 4096]
+        assert not stores
+
+    def test_copy_to_user_when_requested(self, kernel_rt):
+        kernel, rt = kernel_rt
+        target = 0x7_0000_0000
+        kernel.read_file(rt, 4, 0, 2048, into_base=target)
+        stores = [u for u in rt.take()
+                  if u.kind == OpKind.STORE and target <= u.addr < target + 2048]
+        assert len(stores) == 32
+
+
+class TestMultiQueue:
+    def test_queues_are_per_thread(self, kernel_rt):
+        kernel, _ = kernel_rt
+        assert kernel._queue_base(kernel.tx_ring, 0) != \
+            kernel._queue_base(kernel.tx_ring, 1)
+
+    def test_skb_slabs_are_per_thread(self, kernel_rt):
+        kernel, _ = kernel_rt
+        a = kernel._next_skb(tid=0)
+        b = kernel._next_skb(tid=1)
+        assert abs(a - b) >= 2048
+
+    def test_same_thread_recycles_its_slots(self, kernel_rt):
+        kernel, _ = kernel_rt
+        per_queue = kernel._skb_pool_slots // kernel.NUM_QUEUES
+        first = kernel._next_skb(tid=0)
+        for _ in range(per_queue - 1):
+            kernel._next_skb(tid=0)
+        assert kernel._next_skb(tid=0) == first
+
+
+class TestMisc:
+    def test_log_write_goes_through_block_path(self, kernel_rt):
+        kernel, rt = kernel_rt
+        kernel.log_write(rt, 512)
+        buf = rt.take()
+        block_fn = kernel.fns["block_layer"]
+        assert any(block_fn.base <= u.pc < block_fn.base + block_fn.size
+                   for u in buf)
+
+    def test_context_switch_emits_scheduler_code(self, kernel_rt):
+        kernel, rt = kernel_rt
+        kernel.context_switch(rt)
+        buf = rt.take()
+        sched = kernel.fns["scheduler"]
+        assert any(sched.base <= u.pc < sched.base + sched.size for u in buf)
+
+    def test_warm_ranges_cover_the_skb_pool(self, kernel_rt):
+        kernel, _ = kernel_rt
+        ranges = dict((base, size) for base, size in kernel.warm_ranges())
+        assert kernel._skb_pool_base in ranges
+
+
+class TestPageCacheEviction:
+    def test_capacity_is_enforced(self):
+        space = AddressSpace()
+        layout = CodeLayout()
+        kernel = OsKernel(space, layout)
+        kernel.page_cache_capacity = 8
+        rt = Runtime(layout, main=layout.function("um", 8192))
+        for file_id in range(12):
+            kernel.read_file(rt, file_id, 0, 4096)
+        assert kernel.pages_evicted == 4
+        assert len(kernel._page_lru) == 8
+
+    def test_evicted_page_misses_again(self):
+        space = AddressSpace()
+        layout = CodeLayout()
+        kernel = OsKernel(space, layout)
+        kernel.page_cache_capacity = 2
+        rt = Runtime(layout, main=layout.function("um", 8192))
+        kernel.read_file(rt, 1, 0, 4096)
+        kernel.read_file(rt, 2, 0, 4096)
+        kernel.read_file(rt, 3, 0, 4096)  # evicts file 1
+        assert not kernel.file_cached(1, 0)
+        misses_before = kernel.page_cache_misses
+        kernel.read_file(rt, 1, 0, 4096)
+        assert kernel.page_cache_misses == misses_before + 1
+
+    def test_recently_used_pages_survive(self):
+        space = AddressSpace()
+        layout = CodeLayout()
+        kernel = OsKernel(space, layout)
+        kernel.page_cache_capacity = 2
+        rt = Runtime(layout, main=layout.function("um", 8192))
+        kernel.read_file(rt, 1, 0, 4096)
+        kernel.read_file(rt, 2, 0, 4096)
+        kernel.read_file(rt, 1, 0, 4096)  # refresh file 1
+        kernel.read_file(rt, 3, 0, 4096)  # must evict file 2, not 1
+        assert kernel.file_cached(1, 0)
+        assert not kernel.file_cached(2, 0)
+
+    def test_frames_are_recycled(self):
+        space = AddressSpace()
+        layout = CodeLayout()
+        kernel = OsKernel(space, layout)
+        kernel.page_cache_capacity = 1
+        rt = Runtime(layout, main=layout.function("um", 8192))
+        first = kernel.read_file(rt, 1, 0, 4096)[0]
+        second = kernel.read_file(rt, 2, 0, 4096)[0]
+        assert second == first  # same physical frame, reclaimed

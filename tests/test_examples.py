@@ -1,0 +1,40 @@
+"""The example scripts run end-to-end (the README's promises)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(monkeypatch, capsys, script: str, argv: list[str]):
+    monkeypatch.setattr(sys, "argv", [script] + argv)
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "quickstart.py",
+                      ["sat-solver", "8000"])
+    assert "IPC (max 4)" in out
+    assert "execution-time breakdown" in out
+    assert "L1-I misses/k-instr" in out
+
+
+def test_quickstart_rejects_unknown_workload(monkeypatch, capsys):
+    with pytest.raises(SystemExit):
+        run_example(monkeypatch, capsys, "quickstart.py", ["minesweeper"])
+
+
+def test_smt_study_single_workload(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "smt_study.py", ["sat-solver"])
+    assert "IPC(SMT)" in out
+    assert "sat-solver" in out
+
+
+def test_custom_workload(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "custom_workload.py", [])
+    assert "memcached" in out
+    assert "data-serving" in out

@@ -1,0 +1,51 @@
+"""Trace-dump developer tools."""
+
+from repro.tools import dump_trace, format_uop, summarize
+from repro.uarch.uop import MicroOp, OpKind
+
+
+class TestFormatting:
+    def test_format_load(self):
+        uop = MicroOp(OpKind.LOAD, 0x400000, 0x1000, (3,), 9)
+        line = format_uop(uop)
+        assert "load" in line and "deps=3" in line and "addr=" in line
+
+    def test_format_branch_direction(self):
+        taken = MicroOp(OpKind.BRANCH, 0x400000, 0, (), 1, taken=True)
+        assert "taken" in format_uop(taken)
+        untaken = MicroOp(OpKind.BRANCH, 0x400000, 0, (), 2, taken=False)
+        assert "not-taken" in format_uop(untaken)
+
+    def test_format_os_tag(self):
+        uop = MicroOp(OpKind.ALU, 0x400000, 0, (), 1, is_os=True)
+        assert format_uop(uop).endswith("os")
+
+
+class TestSummaries:
+    def test_summary_counts(self):
+        uops = [
+            MicroOp(OpKind.LOAD, 0x40, 0x1000, (), 1),
+            MicroOp(OpKind.LOAD, 0x44, 0x2000, (1,), 2),
+            MicroOp(OpKind.STORE, 0x48, 0x3000, (), 3),
+            MicroOp(OpKind.ALU, 0x4C, 0, (), 4, is_os=True),
+            MicroOp(OpKind.BRANCH, 0x50, 0, (), 5),
+        ]
+        summary = summarize(uops)
+        assert summary.total == 5
+        assert summary.loads == 2 and summary.stores == 1
+        assert summary.branches == 1 and summary.alu == 1
+        assert summary.dependent_loads == 1
+        assert summary.os_ops == 1
+        assert summary.memory_fraction == 0.6
+
+    def test_dump_trace_runs_a_real_workload(self):
+        text, summary = dump_trace("sat-solver", 1_500, include_listing=False)
+        assert summary.total >= 1_500
+        assert summary.loads > 0
+        assert "# workload=sat-solver" in text
+
+    def test_dump_trace_listing(self):
+        text, summary = dump_trace("parsec-cpu", 300)
+        listing_lines = [l for l in text.splitlines()
+                         if not l.startswith("#")]
+        assert len(listing_lines) == summary.total

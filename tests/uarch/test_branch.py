@@ -1,0 +1,92 @@
+"""Branch predictor: bias learning, BTB behaviour, penalty separation."""
+
+import random
+
+from repro.uarch.branch import BranchPredictor
+
+
+class TestDirectionPrediction:
+    def test_learns_always_taken(self):
+        bp = BranchPredictor()
+        miss = sum(
+            bp.predict_and_update(0x1000, True, 0x2000)[0] for _ in range(100)
+        )
+        assert miss <= 2  # at most the cold start
+
+    def test_learns_always_not_taken(self):
+        bp = BranchPredictor()
+        miss = sum(
+            bp.predict_and_update(0x1000, False, 0)[0] for _ in range(100)
+        )
+        assert miss <= 2
+
+    def test_learns_strong_bias(self):
+        bp = BranchPredictor()
+        rng = random.Random(1)
+        outcomes = [rng.random() < 0.9 for _ in range(2000)]
+        miss = sum(
+            bp.predict_and_update(0x40, taken, 0x800)[0] for taken in outcomes
+        )
+        # ~10% of executions take the cold direction; the predictor should
+        # track the bias, not alternate.
+        assert miss / len(outcomes) < 0.25
+
+    def test_alternating_pattern_is_hard_for_bimodal(self):
+        bp = BranchPredictor()
+        miss = sum(
+            bp.predict_and_update(0x40, bool(i % 2), 0x800)[0]
+            for i in range(200)
+        )
+        assert miss > 50  # a bimodal counter cannot learn strict alternation
+
+    def test_distinct_sites_do_not_interfere_when_spaced(self):
+        bp = BranchPredictor()
+        for _ in range(50):
+            assert not bp.predict_and_update(0x1000, True, 0x40)[0] or True
+            bp.predict_and_update(0x8000, False, 0)
+        m1, _ = bp.predict_and_update(0x1000, True, 0x40)
+        m2, _ = bp.predict_and_update(0x8000, False, 0)
+        assert not m1 and not m2
+
+
+class TestBtb:
+    def test_first_taken_branch_misses_btb(self):
+        bp = BranchPredictor()
+        # Train direction first so the BTB check is reached.
+        for _ in range(4):
+            bp.predict_and_update(0x1000, True, 0x2000)
+        mis, btb = bp.predict_and_update(0x1000, True, 0x2000)
+        assert not mis and not btb  # now fully predicted
+
+    def test_changing_target_misses_btb(self):
+        bp = BranchPredictor()
+        for _ in range(4):
+            bp.predict_and_update(0x1000, True, 0x2000)
+        mis, btb = bp.predict_and_update(0x1000, True, 0x3000)
+        assert not mis
+        assert btb
+
+    def test_not_taken_never_checks_btb(self):
+        bp = BranchPredictor()
+        for _ in range(4):
+            bp.predict_and_update(0x1000, False, 0)
+        mis, btb = bp.predict_and_update(0x1000, False, 0)
+        assert not mis and not btb
+
+    def test_btb_capacity_conflicts(self):
+        bp = BranchPredictor(btb_entries=2)
+        # Two taken branches whose sites collide in a 2-entry BTB.
+        pc_a, pc_b = 0x10, 0x10 + 2 * 16  # sites differ by table size
+        for _ in range(8):
+            bp.predict_and_update(pc_a, True, 0x100)
+            bp.predict_and_update(pc_b, True, 0x200)
+        assert bp.stats.btb_misses > 4
+
+
+class TestStats:
+    def test_branches_counted(self):
+        bp = BranchPredictor()
+        for i in range(10):
+            bp.predict_and_update(i * 16, bool(i % 2), 64)
+        assert bp.stats.branches == 10
+        assert 0.0 <= bp.stats.mispredict_rate <= 1.0

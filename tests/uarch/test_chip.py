@@ -1,0 +1,90 @@
+"""Multi-core chip: shared LLC, aggregation, segment interleaving."""
+
+from repro.uarch.chip import Chip, ChipResult
+from repro.uarch.core import CoreResult
+from repro.uarch.params import MachineParams, PrefetcherParams
+from repro.uarch.uop import MicroOp, OpKind
+
+NO_PF = PrefetcherParams(False, False, False, False)
+
+
+def simple_trace(n, base, tid=0):
+    for seq in range(1, n + 1):
+        if seq % 3 == 0:
+            yield MicroOp(OpKind.LOAD, 0x400000, base + seq * 64, (), seq, tid=tid)
+        else:
+            yield MicroOp(OpKind.ALU, 0x400000, 0, (), seq, tid=tid)
+
+
+class TestChipStructure:
+    def test_cores_share_one_llc(self):
+        chip = Chip(MachineParams().with_prefetchers(NO_PF), num_cores=2)
+        assert chip.cores[0].hierarchy.llc is chip.cores[1].hierarchy.llc
+        assert chip.cores[0].hierarchy.l2 is not chip.cores[1].hierarchy.l2
+
+    def test_cores_share_directory_and_dram(self):
+        chip = Chip(MachineParams(), num_cores=4)
+        h0, h3 = chip.cores[0].hierarchy, chip.cores[3].hierarchy
+        assert h0.directory is h3.directory
+        assert h0.dram is h3.dram
+
+    def test_invalidators_attached(self):
+        chip = Chip(MachineParams(), num_cores=2)
+        assert len(chip.directory._invalidators) == 2
+
+    def test_rejects_too_many_traces(self):
+        chip = Chip(MachineParams(), num_cores=2)
+        import pytest
+        with pytest.raises(ValueError):
+            chip.run([iter([]), iter([]), iter([])])
+
+
+class TestExecution:
+    def test_all_cores_commit_their_traces(self):
+        chip = Chip(MachineParams().with_prefetchers(NO_PF), num_cores=2)
+        result = chip.run([simple_trace(600, 1 << 30), simple_trace(400, 2 << 30)])
+        assert result.per_core[0].instructions == 600
+        assert result.per_core[1].instructions == 400
+        assert result.instructions == 1000
+
+    def test_wall_clock_is_max_of_cores(self):
+        chip = Chip(MachineParams().with_prefetchers(NO_PF), num_cores=2)
+        result = chip.run([simple_trace(2000, 1 << 30), simple_trace(100, 2 << 30)])
+        assert result.cycles == max(r.cycles for r in result.per_core)
+
+    def test_llc_sharing_between_cores(self):
+        """A line loaded by core 0 is an LLC hit for core 1."""
+        chip = Chip(MachineParams().with_prefetchers(NO_PF), num_cores=2)
+        addr = 5 << 30
+
+        def one_load(tid):
+            yield MicroOp(OpKind.LOAD, 0x400000, addr, (), 1, tid=tid)
+
+        chip.run_segments([[one_load(0)], [one_load(1)]])
+        # Two off-chip fetches total (the data line + the instruction
+        # line); the second core hit both in the shared LLC.
+        assert chip.dram.stats.read_bytes == 128
+
+    def test_segments_interleave_round_robin(self):
+        chip = Chip(MachineParams().with_prefetchers(NO_PF), num_cores=2)
+        result = chip.run_segments(
+            [
+                [simple_trace(100, 1 << 30), simple_trace(100, 1 << 30)],
+                [simple_trace(100, 2 << 30)],
+            ]
+        )
+        assert result.per_core[0].instructions == 200
+        assert result.per_core[1].instructions == 100
+
+
+class TestAggregation:
+    def test_summed_adds_counters(self):
+        result = ChipResult(per_core=[
+            CoreResult(cycles=100, instructions=50, superq_busy_cycles=10, mlp=2.0),
+            CoreResult(cycles=200, instructions=70, superq_busy_cycles=30, mlp=4.0),
+        ])
+        total = result.summed()
+        assert total.cycles == 300
+        assert total.instructions == 120
+        # MLP is busy-cycle weighted.
+        assert abs(total.mlp - (2.0 * 10 + 4.0 * 30) / 40) < 1e-9

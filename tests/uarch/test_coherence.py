@@ -1,0 +1,106 @@
+"""Last-writer directory and invalidation hooks (Figure 6 machinery)."""
+
+from repro.uarch.coherence import LastWriterDirectory
+
+
+class TestClassification:
+    def test_unwritten_block_is_not_shared(self):
+        d = LastWriterDirectory()
+        assert not d.classify_llc_data_ref(0x1000, core=0, is_os=False)
+        assert d.stats.remote_dirty_hits == 0
+        assert d.stats.llc_data_refs == 1
+
+    def test_own_write_is_not_remote(self):
+        d = LastWriterDirectory()
+        d.record_write(0x1000, core=0)
+        assert not d.classify_llc_data_ref(0x1000, core=0, is_os=False)
+
+    def test_remote_write_is_shared(self):
+        d = LastWriterDirectory()
+        d.record_write(0x1000, core=1)
+        assert d.classify_llc_data_ref(0x1000, core=0, is_os=False)
+        assert d.stats.remote_dirty_hits == 1
+
+    def test_os_hits_split(self):
+        d = LastWriterDirectory()
+        d.record_write(0x1000, core=1)
+        d.classify_llc_data_ref(0x1000, core=0, is_os=True)
+        assert d.stats.os_remote_dirty_hits == 1
+        assert d.stats.app_remote_dirty_hits == 0
+
+    def test_fraction(self):
+        d = LastWriterDirectory()
+        d.record_write(0x1000, core=1)
+        d.classify_llc_data_ref(0x1000, core=0, is_os=False)
+        d.classify_llc_data_ref(0x2000, core=0, is_os=False)
+        assert d.stats.remote_dirty_fraction == 0.5
+
+    def test_line_granularity(self):
+        d = LastWriterDirectory()
+        d.record_write(0x1000, core=1)
+        assert d.classify_llc_data_ref(0x1020, core=0, is_os=False)  # same line
+        assert not d.classify_llc_data_ref(0x1040, core=0, is_os=False)
+
+
+class TestSockets:
+    def test_socket_mapping(self):
+        d = LastWriterDirectory(cores_per_socket=2)
+        assert d.socket_of(0) == 0
+        assert d.socket_of(1) == 0
+        assert d.socket_of(2) == 1
+        assert d.socket_of(3) == 1
+
+    def test_cross_socket_hits_counted(self):
+        d = LastWriterDirectory(cores_per_socket=2)
+        d.record_write(0x1000, core=3)
+        d.classify_llc_data_ref(0x1000, core=0, is_os=False)
+        assert d.stats.remote_socket_hits == 1
+
+    def test_same_socket_remote_core_not_cross_socket(self):
+        d = LastWriterDirectory(cores_per_socket=2)
+        d.record_write(0x1000, core=1)
+        d.classify_llc_data_ref(0x1000, core=0, is_os=False)
+        assert d.stats.remote_dirty_hits == 1
+        assert d.stats.remote_socket_hits == 0
+
+
+class TestInvalidation:
+    def test_write_invalidates_other_cores(self):
+        d = LastWriterDirectory()
+        invalidated = {0: [], 1: []}
+        d.attach_core(0, lambda a: invalidated[0].append(a))
+        d.attach_core(1, lambda a: invalidated[1].append(a))
+        d.record_write(0x1040, core=0)
+        assert invalidated[1] == [0x1040]
+        assert invalidated[0] == []
+
+    def test_repeated_writes_by_same_core_do_not_reinvalidate(self):
+        d = LastWriterDirectory()
+        invalidated = []
+        d.attach_core(1, invalidated.append)
+        d.record_write(0x1040, core=0)
+        d.record_write(0x1040, core=0)
+        assert len(invalidated) == 1
+
+    def test_ping_pong_writes_invalidate_each_time(self):
+        d = LastWriterDirectory()
+        counts = {0: 0, 1: 0}
+
+        def bump(core):
+            def _inner(addr):
+                counts[core] += 1
+            return _inner
+
+        d.attach_core(0, bump(0))
+        d.attach_core(1, bump(1))
+        for _ in range(3):
+            d.record_write(0x2000, core=0)
+            d.record_write(0x2000, core=1)
+        assert counts[0] == 3
+        assert counts[1] == 3
+
+    def test_clear_forgets_writers(self):
+        d = LastWriterDirectory()
+        d.record_write(0x1000, core=1)
+        d.clear()
+        assert not d.classify_llc_data_ref(0x1000, core=0, is_os=False)

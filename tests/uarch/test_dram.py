@@ -1,0 +1,49 @@
+"""Memory channel byte accounting and the Figure 7 utilization metric."""
+
+import pytest
+
+from repro.uarch.dram import MemoryChannels
+
+
+class TestAccounting:
+    def test_reads_and_writes_accumulate(self):
+        mem = MemoryChannels(3, 32e9)
+        mem.read_line(is_os=False)
+        mem.read_line(is_os=True)
+        mem.write_line(is_os=False)
+        assert mem.stats.read_bytes == 128
+        assert mem.stats.write_bytes == 64
+        assert mem.stats.total_bytes == 192
+
+    def test_os_split(self):
+        mem = MemoryChannels(3, 32e9)
+        mem.read_line(is_os=True)
+        mem.write_line(is_os=True)
+        mem.read_line(is_os=False)
+        assert mem.stats.os_bytes == 128
+        assert mem.stats.app_bytes == 64
+
+
+class TestUtilization:
+    def test_zero_cycles_is_zero(self):
+        mem = MemoryChannels(3, 32e9)
+        assert mem.utilization(0, 2.93e9, 4) == 0.0
+
+    def test_full_rate_is_100_percent(self):
+        mem = MemoryChannels(3, 32e9)
+        freq = 2.93e9
+        seconds = 1e-3
+        cycles = int(freq * seconds)
+        per_core_share = 32e9 / 4
+        lines = int(per_core_share * seconds / 64)
+        for _ in range(lines):
+            mem.read_line(is_os=False)
+        assert mem.utilization(cycles, freq, 4) == pytest.approx(1.0, rel=0.01)
+
+    def test_utilization_scales_with_active_cores(self):
+        mem = MemoryChannels(3, 32e9)
+        for _ in range(1000):
+            mem.read_line(is_os=False)
+        u4 = mem.utilization(10_000, 2.93e9, 4)
+        u1 = mem.utilization(10_000, 2.93e9, 1)
+        assert u4 == pytest.approx(4 * u1)

@@ -1,0 +1,96 @@
+"""Robustness: pathological configurations and degenerate inputs."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.uarch.cache import Cache
+from repro.uarch.core import Core
+from repro.uarch.hierarchy import MemoryHierarchy
+from repro.uarch.params import CacheParams, MachineParams, PrefetcherParams
+from repro.uarch.uop import MicroOp, OpKind
+
+NO_PF = PrefetcherParams(False, False, False, False)
+
+
+class TestDegenerateTraces:
+    def test_empty_trace(self):
+        core = Core(MachineParams())
+        result = core.run([iter([])])
+        assert result.instructions == 0
+
+    def test_no_threads(self):
+        core = Core(MachineParams())
+        result = core.run([])
+        assert result.cycles == 0
+
+    def test_single_uop(self):
+        core = Core(MachineParams())
+        result = core.run([iter([MicroOp(OpKind.ALU, 0x400000)])])
+        assert result.instructions == 1
+
+    def test_one_empty_one_busy_thread(self):
+        params = MachineParams().with_smt(2)
+        core = Core(params)
+        busy = iter([MicroOp(OpKind.ALU, 0x400000, 0, (), s, tid=1)
+                     for s in range(1, 50)])
+        result = core.run([iter([]), busy])
+        assert result.instructions == 49
+
+    def test_dangling_dependency_is_treated_as_ready(self):
+        """A dep referencing a long-retired producer must not deadlock."""
+        core = Core(MachineParams())
+        trace = [MicroOp(OpKind.ALU, 0x400000, 0, (999,), 1)]
+        result = core.run([iter(trace)])
+        assert result.instructions == 1
+
+
+class TestTinyCaches:
+    def test_direct_mapped_single_line_cache(self):
+        cache = Cache("tiny", CacheParams(64, 1, 1))
+        cache.fill(0)
+        assert cache.access(0)
+        cache.fill(64 * cache.num_sets)
+        assert not cache.access(0)
+
+    def test_hierarchy_with_tiny_llc(self):
+        params = replace(
+            MachineParams().with_prefetchers(NO_PF),
+            llc=CacheParams(64 * 1024, 16, 29),
+        )
+        hier = MemoryHierarchy(params)
+        for i in range(4096):
+            hier.access(i * 64)
+        assert hier.llc.resident_lines() <= 64 * 1024 // 64
+
+    def test_core_runs_on_tiny_machine(self):
+        params = replace(
+            MachineParams().with_prefetchers(NO_PF),
+            rob_entries=8,
+            reservation_stations=4,
+            load_buffer=2,
+            store_buffer=2,
+            mshr_entries=1,
+            fetch_queue=2,
+        )
+        core = Core(params)
+        trace = []
+        for seq in range(1, 400):
+            kind = OpKind.LOAD if seq % 3 == 0 else OpKind.ALU
+            trace.append(MicroOp(kind, 0x400000, (1 << 30) + seq * 4096,
+                                 (seq - 1,) if seq % 5 == 0 else (), seq))
+        result = core.run([iter(trace)])
+        assert result.instructions == 399
+        assert result.mlp <= 1.01  # one MSHR caps parallelism
+
+
+class TestConfigValidation:
+    def test_llc_resize_beyond_limits(self):
+        with pytest.raises(ValueError):
+            MachineParams().with_llc_mb(0.00001)
+
+    def test_negative_window_is_rejected_by_scaled_floor(self):
+        from repro.core.runner import RunConfig
+
+        config = RunConfig(window_uops=10, warm_uops=10).scaled(0.0001)
+        assert config.window_uops >= 2_000

@@ -1,0 +1,177 @@
+"""Memory hierarchy: miss paths, fills, prefetch wiring, DRAM queue."""
+
+import pytest
+
+from repro.uarch.hierarchy import MemoryHierarchy
+from repro.uarch.params import MachineParams, PrefetcherParams
+
+
+def make_hierarchy(prefetch=None) -> MemoryHierarchy:
+    params = MachineParams()
+    if prefetch is not None:
+        params = params.with_prefetchers(prefetch)
+    return MemoryHierarchy(params)
+
+
+NO_PF = PrefetcherParams(False, False, False, False)
+
+
+class TestMissPath:
+    def test_cold_access_goes_to_memory(self):
+        h = make_hierarchy(NO_PF)
+        res = h.access(0x100000)
+        assert res.level == "mem"
+        assert res.off_core and res.off_chip
+        # Latency covers L1 + L2 + LLC + memory (+ TLB walk).
+        assert res.latency >= 4 + 6 + 29 + 200
+
+    def test_second_access_hits_l1(self):
+        h = make_hierarchy(NO_PF)
+        h.access(0x100000)
+        res = h.access(0x100000)
+        assert res.level == "l1"
+        assert res.latency == 4
+        assert not res.off_core and not res.off_chip
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = make_hierarchy(NO_PF)
+        h.access(0x100000)
+        # Evict from the 32KB 8-way L1-D by filling its set.
+        conflict_stride = h.l1d.num_sets * 64
+        for i in range(1, 9):
+            h.access(0x100000 + i * conflict_stride)
+        res = h.access(0x100000)
+        assert res.level == "l2"
+        assert res.latency == 4 + 6
+
+    def test_fill_propagates_to_all_levels(self):
+        h = make_hierarchy(NO_PF)
+        h.access(0x40)
+        assert h.l1d.contains(0x40)
+        assert h.l2.contains(0x40)
+        assert h.llc.contains(0x40)
+
+    def test_instruction_accesses_use_l1i(self):
+        h = make_hierarchy(NO_PF)
+        h.access(0x400000, is_instr=True)
+        assert h.l1i.contains(0x400000)
+        assert not h.l1d.contains(0x400000)
+
+    def test_off_chip_traffic_counts_bytes(self):
+        h = make_hierarchy(NO_PF)
+        for i in range(10):
+            h.access(i * 64)
+        assert h.dram.stats.read_bytes == 10 * 64
+
+    def test_os_bytes_attributed(self):
+        h = make_hierarchy(NO_PF)
+        h.access(0, is_os=True)
+        h.access(1 << 20, is_os=False)
+        assert h.dram.stats.os_read_bytes == 64
+        assert h.dram.stats.read_bytes == 128
+
+
+class TestWritebacks:
+    def test_dirty_llc_eviction_writes_to_memory(self):
+        params = MachineParams().with_prefetchers(NO_PF).with_llc_mb(4)
+        h = MemoryHierarchy(params)
+        h.access(0x0, is_write=True)
+        written_before = h.dram.stats.write_bytes
+        # Flood the LLC to force the dirty line out.
+        lines = params.llc.size_bytes // 64 + params.llc.assoc * params.llc.num_sets
+        for i in range(1, lines):
+            h.access(i * 64)
+        assert h.dram.stats.write_bytes > written_before
+
+
+class TestPrefetchWiring:
+    def test_stream_prefetch_fills_l2(self):
+        h = make_hierarchy(PrefetcherParams(False, False, True, False))
+        for i in range(3):
+            h.access(0x100000 + i * 64)
+        assert h.l2.stats.prefetch_issued > 0
+
+    def test_prefetch_consumes_bandwidth(self):
+        h = make_hierarchy(PrefetcherParams(False, True, False, False))
+        h.access(0x100000)  # miss -> buddy prefetched from memory
+        assert h.dram.stats.read_bytes == 2 * 64
+
+    def test_late_prefetch_charges_residual_latency(self):
+        h = make_hierarchy(PrefetcherParams(False, True, False, False))
+        h.access(0x100000)  # buddy 0x100040 prefetched (late)
+        res = h.access(0x100040)
+        assert res.level == "l2"
+        assert res.latency > 4 + 6  # residual memory latency included
+
+    def test_disabled_prefetchers_produce_no_prefetch_fills(self):
+        h = make_hierarchy(NO_PF)
+        for i in range(64):
+            h.access(0x100000 + i * 64)
+        assert h.l2.stats.prefetch_issued == 0
+        assert h.l1d.stats.prefetch_issued == 0
+
+    def test_dcu_covers_stream_after_first_misses(self):
+        h = make_hierarchy(PrefetcherParams(False, False, True, True))
+        levels = [h.access(0x200000 + i * 64).level for i in range(32)]
+        assert "l1" in levels[2:]  # DCU turned later lines into L1 hits
+
+
+class TestDramQueue:
+    def test_untimed_accesses_skip_the_queue(self):
+        h = make_hierarchy(NO_PF)
+        res1 = h.access(0 * 64)
+        res2 = h.access(1 * 64)
+        assert res1.latency == res2.latency + 30 or res1.latency >= res2.latency
+        # (first access pays the TLB walk; neither pays queueing delay)
+
+    def test_back_to_back_timed_misses_queue(self):
+        h = make_hierarchy(NO_PF)
+        first = h.access(0 * 64, now=0)
+        second = h.access(1024 * 64, now=0)  # same instant, second transfer
+        assert second.latency - second.latency % 1 >= h.dram_interval or \
+            second.latency > first.latency - 30
+
+    def test_queue_drains_over_time(self):
+        h = make_hierarchy(NO_PF)
+        h.access(0, now=0)
+        h.access(1 << 20, now=0)
+        late = h.access(2 << 20, now=10_000)  # long after: no queueing
+        assert late.latency <= 4 + 6 + 29 + 200 + 30
+
+    def test_interval_matches_per_core_share(self):
+        h = make_hierarchy(NO_PF)
+        # 64B / (32GB/s / 4 cores) * 2.93GHz ≈ 23 cycles
+        assert 20 <= h.dram_interval <= 25
+
+
+class TestCoherenceHooks:
+    def test_invalidate_private_drops_all_levels(self):
+        h = make_hierarchy(NO_PF)
+        h.access(0x40)
+        h.invalidate_private(0x40)
+        assert not h.l1d.contains(0x40)
+        assert not h.l2.contains(0x40)
+        assert h.llc.contains(0x40)  # LLC keeps the (shared) copy
+
+    def test_store_records_writer(self):
+        h = make_hierarchy(NO_PF)
+        h.access(0x80, is_write=True)
+        assert h.directory._writer.get(0x80 >> 6) == 0
+
+
+class TestStallAccumulators:
+    def test_l2_instruction_hits_accumulate_stalls(self):
+        h = make_hierarchy(NO_PF)
+        h.access(0x400000, is_instr=True)
+        conflict = h.l1i.num_sets * 64
+        for i in range(1, 5):
+            h.access(0x400000 + i * conflict, is_instr=True)
+        before = h.l2_instr_hit_stalls
+        h.access(0x400000, is_instr=True)  # L1-I miss, L2 hit
+        assert h.l2_instr_hit_stalls == before + h.l2.latency
+
+    def test_tlb_walks_accumulate(self):
+        h = make_hierarchy(NO_PF)
+        for page in range(600):  # overflow the 512-entry STLB
+            h.access(page * 4096)
+        assert h.stlb_miss_stalls > 0

@@ -1,0 +1,61 @@
+"""Fuzzed invariants over the full hierarchy with prefetchers enabled."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.uarch.hierarchy import MemoryHierarchy
+from repro.uarch.params import MachineParams
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    footprint_log2=st.integers(min_value=12, max_value=26),
+    writes=st.floats(min_value=0.0, max_value=0.5),
+)
+def test_hierarchy_invariants_under_random_traffic(seed, footprint_log2, writes):
+    """Any access pattern preserves the hierarchy's physical invariants."""
+    params = MachineParams()
+    hier = MemoryHierarchy(params)
+    rng = random.Random(seed)
+    footprint = 1 << footprint_log2
+    min_latency = params.l1d.latency
+    max_latency = (params.l1d.latency + params.l2.latency + params.llc.latency
+                   + params.memory_latency + params.tlb_miss_penalty
+                   + 2 * params.memory_latency)  # late-prefetch residue
+    for i in range(600):
+        addr = (1 << 32) + (rng.randrange(footprint) & ~63)
+        is_write = rng.random() < writes
+        res = hier.access(addr, is_write=is_write, now=i * 4)
+        # Latency is bounded and consistent with the reported level.
+        assert res.latency >= min_latency
+        if res.level == "mem":
+            assert res.off_chip and res.off_core
+        if res.level in ("l1", "l2"):
+            assert not res.off_chip
+        # A just-accessed line is resident in the L1.
+        assert hier.l1d.contains(addr)
+    # Capacity invariants.
+    for cache in (hier.l1d, hier.l1i, hier.l2, hier.llc):
+        capacity = cache.num_sets * cache.assoc
+        assert cache.resident_lines() <= capacity
+    # Conservation: every demand access is a hit or a miss.
+    for cache in (hier.l1d, hier.l2, hier.llc):
+        stats = cache.stats
+        assert stats.demand_hits + stats.demand_misses == stats.demand_accesses
+    # Off-chip traffic is line-granular.
+    assert hier.dram.stats.total_bytes % 64 == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_dram_queue_is_monotonic(seed):
+    params = MachineParams()
+    hier = MemoryHierarchy(params)
+    rng = random.Random(seed)
+    last_free = 0
+    for i in range(100):
+        hier.access((1 << 33) + i * (1 << 16), now=rng.randrange(0, 50))
+        assert hier._dram_next_free >= last_free
+        last_free = hier._dram_next_free

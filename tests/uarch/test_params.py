@@ -1,0 +1,94 @@
+"""MachineParams: Table 1 values and derived configurations."""
+
+import pytest
+
+from repro.uarch.params import CacheParams, MachineParams, PrefetcherParams
+
+
+class TestTable1Defaults:
+    def test_frequency_is_293ghz(self, params):
+        assert params.freq_hz == pytest.approx(2.93e9)
+
+    def test_six_cores_four_active(self, params):
+        assert params.num_cores == 6
+        assert params.active_cores == 4
+
+    def test_core_width_four(self, params):
+        assert params.width == 4
+
+    def test_rob_128_entries(self, params):
+        assert params.rob_entries == 128
+
+    def test_load_store_buffers_48_32(self, params):
+        assert params.load_buffer == 48
+        assert params.store_buffer == 32
+
+    def test_reservation_stations_36(self, params):
+        assert params.reservation_stations == 36
+
+    def test_l1_split_32kb_4cycle(self, params):
+        assert params.l1i.size_bytes == 32 * 1024
+        assert params.l1d.size_bytes == 32 * 1024
+        assert params.l1i.latency == 4
+        assert params.l1d.latency == 4
+
+    def test_l2_256kb_6cycle(self, params):
+        assert params.l2.size_bytes == 256 * 1024
+        assert params.l2.latency == 6
+
+    def test_llc_12mb_29cycle(self, params):
+        assert params.llc.size_bytes == 12 * 1024 * 1024
+        assert params.llc.latency == 29
+
+    def test_memory_three_channels_32gbs(self, params):
+        assert params.memory_channels == 3
+        assert params.peak_bandwidth_bytes_per_s == pytest.approx(32e9)
+
+    def test_table1_rows_render_every_parameter(self):
+        rows = dict(MachineParams.table1_rows())
+        assert "Reorder buffer" in rows
+        assert rows["Core width"] == "4-wide issue and retire"
+        assert "12MB" in rows["LLC (L3 cache)"]
+
+
+class TestCacheParams:
+    def test_num_sets(self):
+        cache = CacheParams(32 * 1024, 4, 4)
+        assert cache.num_sets == 128
+
+    def test_rejects_non_divisible_geometry(self):
+        with pytest.raises(ValueError):
+            CacheParams(1000, 3, 4)
+
+    def test_line_bytes_default(self):
+        assert CacheParams(4096, 1, 1).line_bytes == 64
+
+
+class TestDerivedConfigurations:
+    def test_with_llc_mb_resizes(self, params):
+        smaller = params.with_llc_mb(6)
+        assert smaller.llc.size_bytes == 6 * 1024 * 1024
+        # Everything else untouched.
+        assert smaller.l2 == params.l2
+        assert smaller.rob_entries == params.rob_entries
+
+    @pytest.mark.parametrize("size_mb", [4, 5, 6, 7, 8, 9, 10, 11])
+    def test_with_llc_mb_supports_every_figure4_point(self, params, size_mb):
+        resized = params.with_llc_mb(size_mb)
+        assert resized.llc.size_bytes == size_mb * 1024 * 1024
+        assert resized.llc.num_sets * resized.llc.assoc * 64 == resized.llc.size_bytes
+
+    def test_with_smt(self, params):
+        assert params.with_smt(2).smt_threads == 2
+        assert params.smt_threads == 1  # frozen original unchanged
+
+    def test_with_prefetchers(self, params):
+        off = params.with_prefetchers(PrefetcherParams().all_disabled())
+        assert not off.prefetch.hw_prefetcher
+        assert not off.prefetch.adjacent_line
+        assert not off.prefetch.dcu_streamer
+        assert not off.prefetch.l1i_next_line
+        assert params.prefetch.hw_prefetcher  # original untouched
+
+    def test_params_are_hashable_for_run_caching(self, params):
+        assert hash(params) == hash(MachineParams())

@@ -1,0 +1,97 @@
+"""Prefetcher models: next-line, adjacent-line, stream detection."""
+
+from repro.uarch.prefetch import (
+    AdjacentLinePrefetcher,
+    NextLinePrefetcher,
+    StreamPrefetcher,
+)
+
+
+class TestNextLine:
+    def test_proposes_following_line(self):
+        pf = NextLinePrefetcher()
+        assert pf.observe(0x1000, hit=True) == [0x1040]
+
+    def test_no_repeat_proposal_within_same_line(self):
+        pf = NextLinePrefetcher()
+        pf.observe(0x1000, hit=True)
+        assert pf.observe(0x1008, hit=True) == []
+
+    def test_new_line_triggers_again(self):
+        pf = NextLinePrefetcher()
+        pf.observe(0x1000, hit=True)
+        assert pf.observe(0x1040, hit=True) == [0x1080]
+
+
+class TestAdjacentLine:
+    def test_buddy_of_even_line(self):
+        pf = AdjacentLinePrefetcher()
+        assert pf.observe(0x1000, hit=False) == [0x1040]
+
+    def test_buddy_of_odd_line(self):
+        pf = AdjacentLinePrefetcher()
+        assert pf.observe(0x1040, hit=False) == [0x1000]
+
+    def test_silent_on_hits(self):
+        pf = AdjacentLinePrefetcher()
+        assert pf.observe(0x1000, hit=True) == []
+
+
+class TestStreamPrefetcher:
+    def test_trains_on_ascending_stream(self):
+        pf = StreamPrefetcher(degree=2, train_threshold=1)
+        pf.observe(0x0, hit=False)
+        pf.observe(0x40, hit=False)
+        proposals = pf.observe(0x80, hit=False)
+        assert 0xC0 in proposals
+        assert 0x100 in proposals
+
+    def test_trains_on_descending_stream(self):
+        pf = StreamPrefetcher(degree=1, train_threshold=1)
+        pf.observe(0x200, hit=False)
+        pf.observe(0x1C0, hit=False)
+        proposals = pf.observe(0x180, hit=False)
+        assert proposals == [0x140]
+
+    def test_does_not_cross_page_boundary(self):
+        pf = StreamPrefetcher(degree=4, train_threshold=1)
+        page_last = 4096 - 64
+        pf.observe(page_last - 128, hit=False)
+        pf.observe(page_last - 64, hit=False)
+        proposals = pf.observe(page_last, hit=False)
+        assert all(p < 4096 for p in proposals)
+
+    def test_random_accesses_do_not_train(self):
+        pf = StreamPrefetcher(degree=2, train_threshold=1)
+        assert pf.observe(0 * 4096, hit=False) == []
+        assert pf.observe(7 * 4096, hit=False) == []
+        assert pf.observe(3 * 4096, hit=False) == []
+
+    def test_direction_flip_resets_confidence(self):
+        pf = StreamPrefetcher(degree=1, train_threshold=1)
+        pf.observe(0x0, hit=False)
+        pf.observe(0x40, hit=False)   # up
+        pf.observe(0x80, hit=False)   # up, trained
+        assert pf.observe(0x40, hit=False) == []  # down: retrain needed
+
+    def test_table_capacity_evicts_oldest_page(self):
+        pf = StreamPrefetcher(table_entries=2, degree=1, train_threshold=1)
+        pf.observe(0 * 4096, hit=False)
+        pf.observe(1 * 4096, hit=False)
+        pf.observe(2 * 4096, hit=False)  # evicts page 0
+        # Page 0 must retrain from scratch: first observation proposes nothing.
+        assert pf.observe(0 * 4096 + 64, hit=False) == []
+
+    def test_reset_clears_table(self):
+        pf = StreamPrefetcher(degree=1, train_threshold=1)
+        pf.observe(0x0, hit=False)
+        pf.reset()
+        assert pf.observe(0x40, hit=False) == []
+
+    def test_degree_controls_distance(self):
+        pf = StreamPrefetcher(degree=4, train_threshold=1)
+        pf.observe(0x0, hit=False)
+        pf.observe(0x40, hit=False)
+        proposals = pf.observe(0x80, hit=False)
+        assert len(proposals) == 4
+        assert proposals == [0xC0, 0x100, 0x140, 0x180]

@@ -1,0 +1,45 @@
+"""The SMT comparison harness (Figure 3 methodology)."""
+
+from repro.uarch.core import CoreResult
+from repro.uarch.params import MachineParams, PrefetcherParams
+from repro.uarch.smt import SmtComparison, run_smt_comparison
+from repro.uarch.uop import MicroOp, OpKind
+
+
+def memory_bound_factory(tid):
+    def trace():
+        seq = 0
+        last = 0
+        base = (1 << 32) + tid * (1 << 26)
+        for i in range(1200):
+            seq += 1
+            deps = (last,) if last else ()
+            yield MicroOp(OpKind.LOAD, 0x400000, base + i * 4096, deps, seq, tid=tid)
+            last = seq
+    return trace()
+
+
+class TestComparison:
+    def test_runs_both_configurations(self):
+        params = MachineParams().with_prefetchers(
+            PrefetcherParams(False, False, False, False)
+        )
+        comparison = run_smt_comparison(params, memory_bound_factory)
+        assert comparison.baseline.instructions == 1200
+        assert comparison.smt.instructions == 2400
+
+    def test_memory_bound_threads_gain_from_smt(self):
+        params = MachineParams().with_prefetchers(
+            PrefetcherParams(False, False, False, False)
+        )
+        comparison = run_smt_comparison(params, memory_bound_factory)
+        assert comparison.ipc_gain > 0.5
+        assert comparison.mlp_gain > 0.5
+
+    def test_gain_properties_handle_zero(self):
+        comparison = SmtComparison(
+            baseline=CoreResult(cycles=10, instructions=5, mlp=0.0),
+            smt=CoreResult(cycles=10, instructions=8, mlp=2.0),
+        )
+        assert comparison.mlp_gain == 0.0
+        assert comparison.ipc_gain > 0.0

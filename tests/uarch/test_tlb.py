@@ -1,0 +1,66 @@
+"""Two-level TLB model."""
+
+from repro.uarch.tlb import Tlb, _LruArray, make_tlbs
+
+
+class TestLruArray:
+    def test_miss_then_hit(self):
+        arr = _LruArray(4)
+        assert not arr.access(1)
+        arr.fill(1)
+        assert arr.access(1)
+
+    def test_capacity_eviction(self):
+        arr = _LruArray(2)
+        arr.fill(1)
+        arr.fill(2)
+        arr.fill(3)  # evicts 1
+        assert not arr.access(1)
+        assert arr.access(2)
+        assert arr.access(3)
+
+    def test_access_refreshes_recency(self):
+        arr = _LruArray(2)
+        arr.fill(1)
+        arr.fill(2)
+        arr.access(1)
+        arr.fill(3)  # evicts 2, the LRU
+        assert arr.access(1)
+        assert not arr.access(2)
+
+
+class TestTlbLevels:
+    def test_first_access_walks(self):
+        itlb, _ = make_tlbs(4, 4, 16)
+        assert itlb.access(0x1000) == "miss"
+        assert itlb.stats.l2_misses == 1
+
+    def test_second_access_hits_l1(self):
+        itlb, _ = make_tlbs(4, 4, 16)
+        itlb.access(0x1000)
+        assert itlb.access(0x1234) == "l1"  # same 4K page
+        assert itlb.stats.l1_hits == 1
+
+    def test_l1_eviction_falls_back_to_stlb(self):
+        itlb, _ = make_tlbs(2, 2, 64)
+        for page in range(4):
+            itlb.access(page * 4096)
+        # Page 0 fell out of the 2-entry L1 but is still in the STLB.
+        assert itlb.access(0) == "l2"
+
+    def test_stlb_is_shared_between_i_and_d(self):
+        itlb, dtlb = make_tlbs(1, 1, 16)
+        itlb.access(0x5000)
+        itlb.access(0x6000)  # evicts 0x5000 from the 1-entry L1
+        assert dtlb.access(0x5000) == "l2"  # warm in the shared STLB
+
+    def test_different_pages_miss(self):
+        itlb, _ = make_tlbs(8, 8, 64)
+        itlb.access(0)
+        assert itlb.access(4096) == "miss"
+
+    def test_stats_accesses(self):
+        itlb, _ = make_tlbs(4, 4, 16)
+        for i in range(5):
+            itlb.access(i * 4096)
+        assert itlb.stats.accesses == 5
