@@ -13,12 +13,25 @@ import pathlib
 
 import pytest
 
-from repro.core.runner import RunConfig
+from repro.core.runner import RunConfig, clear_cache
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: The harness window: large enough for stable steady-state counters.
 HARNESS = RunConfig(window_uops=80_000, warm_uops=30_000)
+
+
+@pytest.fixture(autouse=True, scope="session")
+def fresh_measurement_cache():
+    """Benchmark sessions start and finish with a cold measurement cache.
+
+    This prevents cross-contamination from an embedding process (e.g.
+    the unit suite or a REPL that already populated the cache) while
+    preserving the intra-session sharing the harness depends on.
+    """
+    clear_cache()
+    yield
+    clear_cache()
 
 
 @pytest.fixture(scope="session")

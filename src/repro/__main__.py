@@ -7,6 +7,7 @@ Commands:
     trace <workload> [N]      dump N micro-ops of a workload's trace
     table1                    print Table 1
     figure1 .. figure7        regenerate one figure's table
+    faults [workload...]      healthy vs. degraded-mode table (Figure 8)
     ablations                 run the §4-implications ablations
     verify                    check every paper claim against fresh runs
     all                       regenerate every table and figure
@@ -15,7 +16,9 @@ Options:
 
     --window N    measurement window in micro-ops   (default 80000)
     --warm N      functional-warming replay budget  (default window/3)
+    --seed N      deterministic run seed            (default 7)
     --bars        render figures as ASCII bar charts instead of tables
+    --fresh       discard the faults sweep manifest before running
 """
 
 from __future__ import annotations
@@ -24,25 +27,51 @@ import sys
 
 from repro.core.runner import RunConfig
 
+#: Flags that consume the following token as an integer value.
+_VALUE_FLAGS = ("--window", "--warm", "--seed")
+#: Boolean switches.
+_SWITCH_FLAGS = ("--bars", "--fresh")
 
-def _parse_config(args: list[str]) -> tuple[list[str], RunConfig, bool]:
-    window = 80_000
-    warm = None
-    bars = False
+
+def _usage_error(message: str) -> None:
+    """Print a one-line usage error and exit with status 2."""
+    print(f"error: {message}", file=sys.stderr)
+    print("try `python -m repro help` for usage", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def _parse_config(args: list[str]) -> tuple[list[str], RunConfig, bool, bool]:
+    """Split ``args`` into (commands, config, bars, fresh).
+
+    Malformed flag values and unknown ``--flags`` are usage errors:
+    they print a diagnostic and exit with status 2 rather than leaking
+    a raw ``StopIteration``/``ValueError`` traceback.
+    """
+    values = {"--window": 80_000, "--warm": None, "--seed": 7}
+    switches = {name: False for name in _SWITCH_FLAGS}
     rest: list[str] = []
     it = iter(args)
     for arg in it:
-        if arg == "--window":
-            window = int(next(it))
-        elif arg == "--warm":
-            warm = int(next(it))
-        elif arg == "--bars":
-            bars = True
+        if arg in _VALUE_FLAGS:
+            raw = next(it, None)
+            if raw is None:
+                _usage_error(f"{arg} requires an integer value")
+            try:
+                values[arg] = int(raw)
+            except ValueError:
+                _usage_error(f"{arg} requires an integer value, got {raw!r}")
+        elif arg in _SWITCH_FLAGS:
+            switches[arg] = True
+        elif arg.startswith("-") and arg not in ("-h", "--help"):
+            _usage_error(f"unknown flag {arg!r}")
         else:
             rest.append(arg)
+    window = values["--window"]
+    warm = values["--warm"]
     config = RunConfig(window_uops=window,
-                       warm_uops=warm if warm is not None else window // 3)
-    return rest, config, bars
+                       warm_uops=warm if warm is not None else window // 3,
+                       seed=values["--seed"])
+    return rest, config, switches["--bars"], switches["--fresh"]
 
 
 def _run_figure(name: str, config: RunConfig, bars: bool = False) -> None:
@@ -80,7 +109,7 @@ def _run_workload_command(args: list[str], config: RunConfig) -> None:
 def main(argv: list[str] | None = None) -> int:
     """Entry point: dispatch a CLI command; returns the exit status."""
     argv = list(sys.argv[1:] if argv is None else argv)
-    args, config, bars = _parse_config(argv)
+    args, config, bars, fresh = _parse_config(argv)
     if not args or args[0] in ("-h", "--help", "help"):
         print(__doc__)
         return 0
@@ -109,6 +138,18 @@ def main(argv: list[str] | None = None) -> int:
             print(text, end="")
         except BrokenPipeError:
             pass
+        return 0
+    if command == "faults":
+        from repro.core.experiments import figure8_faults
+
+        workloads = args[1:] or None
+        try:
+            table = figure8_faults.run(config, workloads=workloads,
+                                       fresh=fresh)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        print(table.to_text())
         return 0
     if command == "verify":
         from repro.core.paper import verify

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.apps.base import ServerApp
 from repro.apps.kvstore.store import KeyValueStore
+from repro.faults.plan import FaultEvent
 from repro.load.ycsb import YcsbClient
 from repro.machine.runtime import Runtime
 
@@ -39,6 +40,18 @@ class DataServingApp(ServerApp):
         ("gc_code", 128, "scatter", 9, 0.2),
     ]
 
+    #: Cassandra's real error paths: failure detection (gossip/phi
+    #: accrual), hinted handoff for writes to down replicas, read
+    #: repair, and speculative (hedged) reads.  Registered only when a
+    #: fault injector attaches.
+    FAULT_CODE_PLAN = ServerApp.FAULT_CODE_PLAN + [
+        ("gossip_failure_detector", 72, "scatter", 8, 0.15),
+        ("hinted_handoff", 96, "scatter", 7, 0.15),
+        ("read_repair", 80, "scatter", 8, 0.2),
+        ("speculative_retry", 48, "scatter", 8, 0.2),
+        ("gc_remark", 72, "scatter", 6, 0.15),
+    ]
+
     def __init__(self, seed: int = 0, record_count: int = 300_000,
                  record_bytes: int = 256) -> None:
         self.record_count = record_count
@@ -54,7 +67,9 @@ class DataServingApp(ServerApp):
             for name, kb, loc, bb, hot in self.CODE_PLAN
         }
         self.store = KeyValueStore(self.space, self.record_count, self.record_bytes)
-        self.client = YcsbClient(self.record_count, seed=self.seed)
+        self.client = YcsbClient(self.record_count, seed=self.seed,
+                                 metrics=self.service,
+                                 retry=self.fault_policy)
         # Young generation: each thread allocates here; the parallel GC
         # scans and marks it, writing lines other threads later touch.
         self.nursery_bytes = 1 << 20
@@ -154,3 +169,76 @@ class DataServingApp(ServerApp):
                 token = rt.load(base + (off % self.nursery_bytes))
                 if off % (16 * _LINE) == 0:
                     rt.store(base + (off % self.nursery_bytes), (token,))
+
+    # -- degraded paths (active only under an attached FaultInjector) -------
+    def register_fault_hooks(self) -> None:
+        """Cassandra recovery state: the hint log and the gossip
+        endpoint-state table the failure detector walks."""
+        super().register_fault_hooks()
+        self._hint_log_bytes = 256 * 1024
+        self._hint_log = self.space.alloc(self._hint_log_bytes, "heap",
+                                          align=_LINE)
+        self._hint_cursor = 0
+        self._peer_table = self.space.alloc(64 * 1024, "heap", align=_LINE)
+
+    def fault_replica_crash(self, rt: Runtime, event: FaultEvent) -> None:
+        """A replica is down: phi-accrual failure detection over the
+        gossip peer table, then hinted handoff — the write this request
+        would have sent to the dead replica is queued in the hint log."""
+        fns = self._fault_fns
+        with rt.frame(fns["gossip_failure_detector"]):
+            rt.scan(self._peer_table, 8 * 1024, work_per_line=2)
+            rt.alu(n=60, chain=False)
+        with rt.frame(fns["hinted_handoff"]):
+            hint = self._hint_log + (self._hint_cursor % self._hint_log_bytes)
+            self._hint_cursor += 2 * _LINE
+            token = rt.load(self._req_buf)
+            rt.store(hint, (token,))
+            rt.store(hint + _LINE, (token,))
+            rt.alu(n=40 + int(60 * event.severity), chain=False)
+        # The hint must survive the coordinator: append it to the
+        # commit log before acknowledging the write.
+        self.kernel.log_write(rt, 2 * _LINE, payload_base=self._hint_log)
+        self.kernel.send(rt, 192)  # gossip SYN / hint-replay probe
+        self.kernel.recv(rt, 128)  # the surviving replicas' state digest
+
+    def fault_request_drop(self, rt: Runtime,
+                           event: FaultEvent) -> tuple[int, bool, int]:
+        """A coordinator timeout.  On a successful retry the digest
+        mismatch triggers read repair against the recovered replica."""
+        retries, ok, waited = super().fault_request_drop(rt, event)
+        if ok:
+            with rt.frame(self._fault_fns["read_repair"]):
+                rt.alu(n=90, chain=False)
+                home = self.store.sstables[0]
+                rt.scan(home.index.base, 2 * 1024, work_per_line=1)
+        return retries, ok, waited
+
+    def fault_straggler(self, rt: Runtime, event: FaultEvent) -> None:
+        """Speculative retry: past the p99 estimate, hedge the read
+        against another replica (a genuine duplicate read path)."""
+        with rt.frame(self._fault_fns["speculative_retry"]):
+            rt.alu(n=50, chain=False)
+            self.kernel.send(rt, 96)  # the hedged read to another replica
+            self._execute_read(rt, self.client.hot_keys(1)[0])
+        self.kernel.context_switch(rt)
+
+    def fault_gc_storm(self, rt: Runtime, event: FaultEvent) -> None:
+        """A young-generation collection storm: a marking scan beyond
+        the steady-state minor-GC slice, then the remark phase — the
+        scattered reference-processing/oop-iteration code a real
+        collector executes per object class."""
+        with rt.frame(self.fns["gc_code"]):
+            nbytes = min(self.nursery_bytes, int(8 * 1024 * event.severity))
+            rt.scan(self.nursery, nbytes, work_per_line=1)
+        with rt.frame(self._fault_fns["gc_remark"]):
+            rt.alu(n=120 + int(80 * event.severity), chain=False)
+
+    def fault_memory_pressure(self, rt: Runtime, event: FaultEvent) -> None:
+        """Reclaim walks the bloom/index working set (the structures a
+        real Cassandra re-faults after a page-cache shootdown)."""
+        home = self.store.sstables[0]
+        with rt.frame(self._fault_fns["reclaim_scan"]):
+            nbytes = min(home.index.nbytes, int(8 * 1024 * event.severity))
+            rt.scan(home.index.base, nbytes, work_per_line=1)
+        self.kernel.context_switch(rt)

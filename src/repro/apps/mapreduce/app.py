@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.apps.base import ServerApp
 from repro.apps.mapreduce.classifier import CorpusGenerator, NaiveBayesModel
+from repro.faults.plan import FaultEvent
 from repro.machine.runtime import Runtime
 from repro.machine.structures import SimArray, SimHashMap
 
@@ -39,6 +40,15 @@ class MapReduceApp(ServerApp):
         ("jvm_runtime", 288, "scatter", 7, 0.1),
         ("jit_helpers", 128, "scatter", 7, 0.1),
         ("gc_code", 96, "scatter", 9, 0.2),
+    ]
+
+    #: Hadoop's real recovery machinery: fetch-failure handling, task
+    #: re-execution, and speculative execution of stragglers.
+    FAULT_CODE_PLAN = ServerApp.FAULT_CODE_PLAN + [
+        ("fetch_fail_handler", 96, "scatter", 8, 0.15),
+        ("task_retry", 80, "scatter", 8, 0.2),
+        ("speculative_task", 64, "scatter", 8, 0.2),
+        ("gc_remark", 64, "scatter", 6, 0.15),
     ]
 
     def __init__(
@@ -179,6 +189,47 @@ class MapReduceApp(ServerApp):
         # Part-file write to HDFS (through the block/iSCSI path).
         self.kernel.log_write(rt, 1024, payload_base=self.spill_buffer)
         self._output_cursor += 1024
+
+    # -- degraded paths (active only under an attached FaultInjector) -------
+    def fault_replica_crash(self, rt: Runtime, event: FaultEvent) -> None:
+        """A tasktracker died: reducers report fetch failures, and the
+        jobtracker re-schedules the lost map — its input split streams
+        again through the HDFS path."""
+        fns = self._fault_fns
+        with rt.frame(fns["fetch_fail_handler"]):
+            rt.alu(n=30 + int(70 * event.severity), chain=False)
+        with rt.frame(fns["task_retry"]):
+            self.kernel.read_file(rt, self._split_file, self._split_offset,
+                                  2048)
+            rt.alu(n=60, chain=False)
+        self.kernel.send(rt, 256)  # failure report to the jobtracker
+
+    def fault_straggler(self, rt: Runtime, event: FaultEvent) -> None:
+        """Speculative execution: a backup attempt re-reads the slow
+        task's buffered output and re-scores a document slice."""
+        fns = self._fault_fns
+        with rt.frame(fns["speculative_task"]):
+            rt.scan(self.spill_buffer, 8 * 1024, work_per_line=3)
+            rt.alu(n=40, chain=False)
+        self.kernel.context_switch(rt)
+
+    def fault_gc_storm(self, rt: Runtime, event: FaultEvent) -> None:
+        """A JVM collection storm: mark a spill-buffer slice beyond the
+        steady-state housekeeping window, then run the scattered
+        remark/reference-processing phase."""
+        with rt.frame(self.fns["gc_code"]):
+            nbytes = min(1 << 20, int(8 * 1024 * event.severity))
+            rt.scan(self.spill_buffer, nbytes, work_per_line=1)
+        with rt.frame(self._fault_fns["gc_remark"]):
+            rt.alu(n=120 + int(80 * event.severity), chain=False)
+
+    def fault_memory_pressure(self, rt: Runtime, event: FaultEvent) -> None:
+        """Page-cache reclaim evicts split pages; re-fault them through
+        the read path on top of the generic reclaim scan."""
+        super().fault_memory_pressure(rt, event)
+        with rt.frame(self._fault_fns["task_retry"]):
+            self.kernel.read_file(rt, self._split_file,
+                                  self._split_offset, 1024)
 
     @property
     def accuracy(self) -> float:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.apps.base import ServerApp
 from repro.apps.streaming.library import MediaLibrary
+from repro.faults.plan import FaultEvent
 from repro.load.distributions import ZipfGenerator
 from repro.load.faban import FabanDriver
 from repro.machine.runtime import Runtime
@@ -39,6 +40,15 @@ class MediaStreamingApp(ServerApp):
         ("server_core", 224, "scatter", 7, 0.1),
     ]
 
+    #: A streaming server's real error paths: failing sessions over to
+    #: a surviving edge node, client re-buffering control, and
+    #: RTCP-driven packet-loss recovery.
+    FAULT_CODE_PLAN = ServerApp.FAULT_CODE_PLAN + [
+        ("session_failover", 96, "scatter", 7, 0.15),
+        ("rebuffer_control", 64, "scatter", 8, 0.2),
+        ("loss_recovery", 72, "scatter", 8, 0.2),
+    ]
+
     def __init__(self, seed: int = 0, num_clients: int = 180,
                  num_files: int = 48) -> None:
         self.num_clients = num_clients
@@ -60,6 +70,8 @@ class MediaStreamingApp(ServerApp):
             [("send_packet", 95.0), ("rtcp", 3.0), ("reposition", 1.0),
              ("reconnect", 1.0)],
             seed=self.seed,
+            metrics=self.service,
+            retry=self.fault_policy,
         )
         popularity = ZipfGenerator(self.num_files, theta=0.8, seed=self.seed)
         self._popularity = popularity
@@ -172,3 +184,41 @@ class MediaStreamingApp(ServerApp):
         with rt.frame(self.fns["session_mgmt"]):
             state = self.sessions.read(rt, session.session_id)
             self.sessions.write(rt, session.session_id, (state,))
+
+    # -- degraded paths (active only under an attached FaultInjector) -------
+    def fault_replica_crash(self, rt: Runtime, event: FaultEvent) -> None:
+        """An edge node died: a slice of its sessions fail over here —
+        re-read and rewrite their descriptors, and run the RTSP
+        re-handshake traffic for the adopted clients."""
+        fns = self._fault_fns
+        adopt = min(self.num_clients, 4 + int(4 * event.severity))
+        first = self.sessions_churned % self.num_clients
+        with rt.frame(fns["session_failover"]):
+            for index in range(adopt):
+                slot = (first + index) % self.num_clients
+                state = self.sessions.read_record(rt, slot)
+                self.sessions.write(rt, slot, (state,))
+            rt.alu(n=80, chain=False)
+        self.kernel.recv(rt, 512)   # adopted client's SETUP/PLAY
+        self.kernel.send(rt, 1024)  # SDP reply
+
+    def fault_straggler(self, rt: Runtime, event: FaultEvent) -> None:
+        """The disk/NIC is slow: rebuffering control recomputes every
+        affected session's send rate and reprograms its timers."""
+        fns = self._fault_fns
+        with rt.frame(fns["rebuffer_control"]):
+            rt.alu(n=60 + int(80 * event.severity), chain=False)
+            slot = self.packets_streamed % 4096
+            t = self.timer_wheel.read(rt, slot)
+            self.timer_wheel.write(rt, slot, (t,))
+        self.kernel.context_switch(rt)
+
+    def fault_request_drop(self, rt: Runtime,
+                           event: FaultEvent) -> tuple[int, bool, int]:
+        """A lost RTP packet: the client's RTCP receiver report flags
+        the gap and loss recovery retransmits from the media cache."""
+        retries, ok, waited = super().fault_request_drop(rt, event)
+        with rt.frame(self._fault_fns["loss_recovery"]):
+            rt.alu(n=70, chain=False)
+        self.kernel.recv(rt, 128)  # RTCP RR with the loss bitmap
+        return retries, ok, waited

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.apps.base import ServerApp
 from repro.apps.websearch.index import InvertedIndex
+from repro.faults.plan import FaultEvent
 from repro.load.distributions import ZipfGenerator
 from repro.machine.runtime import Runtime
 
@@ -33,6 +34,15 @@ class WebSearchApp(ServerApp):
         ("snippet_gen", 112, "scatter", 8, 0.15),
         ("jvm_runtime", 320, "scatter", 7, 0.1),
         ("gc_code", 96, "scatter", 9, 0.2),
+    ]
+
+    #: An ISN's real degraded modes: re-routing queries to a replica
+    #: shard, serving partial results under deadline pressure, and
+    #: merging whatever shards answered in time.
+    FAULT_CODE_PLAN = ServerApp.FAULT_CODE_PLAN + [
+        ("shard_failover", 96, "scatter", 8, 0.15),
+        ("degraded_ranker", 64, "scatter", 8, 0.2),
+        ("partial_merge", 48, "scatter", 8, 0.2),
     ]
 
     def __init__(self, seed: int = 0, num_terms: int = 30_000,
@@ -110,3 +120,48 @@ class WebSearchApp(ServerApp):
         if self.queries_served % 128 == 0:
             with rt.frame(self.fns["gc_code"]):
                 rt.scan(self._resp_buf, 8 * 1024, work_per_line=2)
+
+    # -- degraded paths (active only under an attached FaultInjector) -------
+    def fault_replica_crash(self, rt: Runtime, event: FaultEvent) -> None:
+        """A sibling ISN is down: this node re-routes its share of the
+        queries — re-probe the term dictionary for the adopted shard's
+        hot terms and rebuild the routing table entry."""
+        fns = self._fault_fns
+        dict_base, dict_bytes = self.index.dict_extent[0]
+        with rt.frame(fns["shard_failover"]):
+            nbytes = min(dict_bytes, 2 * 1024 + int(2 * 1024 * event.severity))
+            rt.scan(dict_base, nbytes, work_per_line=1)
+            rt.alu(n=40, chain=False)
+        self.kernel.send(rt, 256)  # cluster-state update to the frontend
+        self.kernel.recv(rt, 192)  # the frontend's re-routing directive
+        self.kernel.context_switch(rt)  # adopted queries re-enter the queue
+
+    def fault_straggler(self, rt: Runtime, event: FaultEvent) -> None:
+        """Deadline pressure: fall back to the cheap ranker and merge
+        only the shards that answered in time (partial results)."""
+        fns = self._fault_fns
+        with rt.frame(fns["degraded_ranker"]):
+            rt.alu(n=50 + int(60 * event.severity), chain=False)
+        with rt.frame(fns["partial_merge"]):
+            rt.scan(self._resp_buf, 2 * 1024, work_per_line=1)
+        self.kernel.send(rt, 512)  # partial result set to the frontend
+        self.kernel.context_switch(rt)
+
+    def fault_request_drop(self, rt: Runtime,
+                           event: FaultEvent) -> tuple[int, bool, int]:
+        """A query timed out at the frontend; the retried query merges
+        whatever partial per-shard results were already buffered."""
+        retries, ok, waited = super().fault_request_drop(rt, event)
+        if ok:
+            with rt.frame(self._fault_fns["partial_merge"]):
+                rt.alu(n=40, chain=False)
+                rt.scan(self._resp_buf, 1024, work_per_line=1)
+        return retries, ok, waited
+
+    def fault_memory_pressure(self, rt: Runtime, event: FaultEvent) -> None:
+        """Reclaim evicted cold postings: re-fault a posting-list range
+        on top of the generic reclaim scan."""
+        super().fault_memory_pressure(rt, event)
+        with rt.frame(self._fault_fns["shard_failover"]):
+            term = self.queries_served % 2048
+            rt.scan(self.index.posting_addr(term, 0), 1024, work_per_line=1)

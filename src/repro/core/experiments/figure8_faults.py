@@ -1,0 +1,172 @@
+"""Figure 8 (extension): healthy vs. degraded-mode characterization.
+
+The paper measures the suite in healthy steady state only.  This
+experiment re-measures the scale-out workloads under the canonical
+degraded-mode fault plan (replica crashes, stragglers, request drops,
+GC storms, memory pressure — see ``docs/resilience.md``) and reports,
+side by side per workload:
+
+* the microarchitectural story — IPC and the L1-I/L2 instruction miss
+  rates whose growth under fault handling extends Figure 2's
+  instruction-footprint argument, plus the registered code footprint;
+* the service-level story — goodput, retry rate, and the simulated
+  p99 latency the clients observe.
+
+The sweep checkpoints each completed cell into a crash-safe JSON
+manifest under ``benchmarks/results/``, so an interrupted run resumes
+where it stopped and re-invocations skip completed cells.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.core import analysis
+from repro.core.report import ExperimentTable
+from repro.core.runner import RunConfig, run_workload
+from repro.core.workloads import REGISTRY
+from repro.faults.manifest import SweepManifest
+from repro.faults.plan import FaultPlan
+
+#: The workloads the degraded-mode table characterizes by default.
+DEFAULT_WORKLOADS = [
+    "data-serving",
+    "mapreduce",
+    "media-streaming",
+    "web-search",
+]
+
+#: Where the sweep checkpoints by default.
+DEFAULT_MANIFEST = (
+    pathlib.Path(__file__).resolve().parents[4]
+    / "benchmarks" / "results" / "figure8_manifest.json"
+)
+
+_COLUMNS = [
+    "Workload",
+    "Mode",
+    "IPC",
+    "L1-I MPKI",
+    "L2-I MPKI",
+    "Code KB",
+    "Goodput",
+    "Retry rate",
+    "p99 (uops)",
+    "Faults",
+]
+
+
+def degraded_plan(seed: int = 7, intensity: float = 1.0) -> FaultPlan:
+    """The canonical fault schedule for the degraded columns."""
+    return FaultPlan.degraded(seed=seed, intensity=intensity)
+
+
+def _measure_cell(name: str, config: RunConfig) -> dict:
+    """Run one (workload, mode) cell and distill its row payload."""
+    run = run_workload(name, config)
+    r = run.result
+    app = run.app
+    service = app.service.summary()
+    injector = app.faults
+    return {
+        "ipc": analysis.ipc(r),
+        "l1i_mpki": analysis.instruction_mpki(r),
+        "l2i_mpki": analysis.instruction_mpki(r, "l2"),
+        "code_kb": app.layout.app_code_bytes() / 1024.0,
+        "goodput": service["goodput"],
+        "retry_rate": service["retry_rate"],
+        "p99": service["p99"],
+        "faults_fired": injector.total_fired() if injector else 0,
+    }
+
+
+def run(config: RunConfig | None = None,
+        workloads: list[str] | None = None,
+        manifest_path: str | pathlib.Path | None = DEFAULT_MANIFEST,
+        fresh: bool = False,
+        intensity: float = 1.0) -> ExperimentTable:
+    """Build the healthy-vs-degraded table.
+
+    ``manifest_path=None`` disables checkpointing; ``fresh=True``
+    discards any existing manifest first.  Completed cells found in the
+    manifest are *not* recomputed — this is what lets a killed sweep
+    resume mid-run.
+    """
+    config = config or RunConfig()
+    names = workloads or DEFAULT_WORKLOADS
+    for name in names:
+        if name not in REGISTRY:
+            known = ", ".join(sorted(REGISTRY))
+            raise KeyError(f"unknown workload {name!r}; known: {known}")
+    plan = degraded_plan(seed=config.seed, intensity=intensity)
+    manifest = None
+    if manifest_path is not None:
+        meta = {
+            "experiment": "figure8",
+            "window_uops": config.window_uops,
+            "warm_uops": config.warm_uops,
+            "seed": config.seed,
+            "intensity": intensity,
+            "plan_events": len(plan.events),
+        }
+        manifest = SweepManifest(manifest_path, meta)
+        if fresh:
+            manifest.discard()
+    table = ExperimentTable(
+        title=(
+            "Figure 8. Healthy vs. degraded-mode characterization "
+            "(deterministic fault injection)."
+        ),
+        columns=list(_COLUMNS),
+    )
+    modes = [("healthy", None), ("degraded", plan)]
+    for name in names:
+        for mode, mode_plan in modes:
+            key = f"{name}|{mode}"
+            payload = manifest.get(key) if manifest is not None else None
+            if payload is None:
+                cell_config = (config if mode_plan is None
+                               else RunConfig(
+                                   params=config.params,
+                                   window_uops=config.window_uops,
+                                   warm_uops=config.warm_uops,
+                                   seed=config.seed,
+                                   fault_plan=mode_plan,
+                               ))
+                payload = _measure_cell(name, cell_config)
+                if manifest is not None:
+                    manifest.put(key, payload)
+            table.add_row(
+                Workload=REGISTRY[name].display_name,
+                Mode=mode,
+                **{
+                    "IPC": float(payload["ipc"]),
+                    "L1-I MPKI": float(payload["l1i_mpki"]),
+                    "L2-I MPKI": float(payload["l2i_mpki"]),
+                    "Code KB": float(payload["code_kb"]),
+                    "Goodput": float(payload["goodput"]),
+                    "Retry rate": float(payload["retry_rate"]),
+                    "p99 (uops)": int(payload["p99"]),
+                    "Faults": int(payload["faults_fired"]),
+                },
+            )
+    table.notes.append(
+        "Degraded runs execute the canonical fault plan "
+        f"({len(plan.events)} recurring events, seed {config.seed}); "
+        "identical seeds reproduce identical tables."
+    )
+    return table
+
+
+def mpki_delta(table: ExperimentTable, workload: str) -> float:
+    """Degraded-minus-healthy L1-I MPKI for one workload's row pair."""
+    healthy = degraded = None
+    for row in table.rows:
+        if row["Workload"] == workload:
+            if row["Mode"] == "healthy":
+                healthy = float(row["L1-I MPKI"])
+            elif row["Mode"] == "degraded":
+                degraded = float(row["L1-I MPKI"])
+    if healthy is None or degraded is None:
+        raise KeyError(f"no healthy/degraded row pair for {workload!r}")
+    return degraded - healthy

@@ -6,21 +6,44 @@ short execution replay) followed by a fixed micro-op measurement
 window.  ``run_workload`` executes one hardware context; SMT and
 multi-core variants build on it.
 
-Results are cached per (workload, configuration) within the process so
-the benchmark harness can assemble several figures without re-running
-identical configurations.
+Results are cached per (workload, configuration) within the process —
+bounded by a small LRU — so the benchmark harness can assemble several
+figures without re-running identical configurations.
+
+Resilience: a :class:`~repro.faults.plan.FaultPlan` in the
+configuration routes every run through the fault injector (degraded
+modes), and each trace is wrapped in a watchdog budget guard so a
+wedged serve loop raises instead of hanging a sweep.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 
 from repro.apps.base import ServerApp
 from repro.core.workloads import build_app
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.watchdog import RunawayTraceError, guard_trace, trace_budget
 from repro.uarch.chip import Chip, ChipResult
 from repro.uarch.core import Core, CoreResult
 from repro.uarch.hierarchy import MemoryHierarchy
 from repro.uarch.params import MachineParams
+
+__all__ = [
+    "RunConfig",
+    "WorkloadRun",
+    "ChipRun",
+    "RunawayTraceError",
+    "run_workload",
+    "run_workload_smt",
+    "run_workload_members",
+    "run_workload_chip",
+    "metric_mean",
+    "metric_range",
+    "clear_cache",
+]
 
 
 @dataclass(frozen=True)
@@ -31,8 +54,19 @@ class RunConfig:
     window_uops: int = 100_000
     warm_uops: int = 40_000
     seed: int = 7
+    #: Optional degraded-mode schedule; ``None`` (or an empty plan,
+    #: which normalizes to ``None``) measures healthy steady state.
+    fault_plan: FaultPlan | None = None
+
+    def __post_init__(self) -> None:
+        # An empty plan is semantically identical to no plan; normalize
+        # so the two configurations share one cache entry and one
+        # (byte-identical) execution path.
+        if self.fault_plan is not None and self.fault_plan.is_empty():
+            object.__setattr__(self, "fault_plan", None)
 
     def scaled(self, factor: float) -> "RunConfig":
+        """A copy with the measurement window scaled by ``factor``."""
         return replace(
             self,
             window_uops=max(2_000, int(self.window_uops * factor)),
@@ -66,12 +100,30 @@ class WorkloadRun:
         return r.offchip_bytes_os / r.offchip_bytes if r.offchip_bytes else 0.0
 
 
-_CACHE: dict[tuple, WorkloadRun] = {}
+#: Bounded measurement cache: least-recently-used entries are evicted
+#: once the cap is reached, so long sessions (or embedding processes)
+#: cannot grow the cache without bound.
+_CACHE: OrderedDict[tuple, WorkloadRun] = OrderedDict()
+_CACHE_CAPACITY = 128
 
 
 def clear_cache() -> None:
     """Drop every cached measurement (tests use this for isolation)."""
     _CACHE.clear()
+
+
+def _cache_get(key: tuple):
+    hit = _CACHE.get(key)
+    if hit is not None:
+        _CACHE.move_to_end(key)
+    return hit
+
+
+def _cache_put(key: tuple, run) -> None:
+    _CACHE[key] = run
+    _CACHE.move_to_end(key)
+    while len(_CACHE) > _CACHE_CAPACITY:
+        _CACHE.popitem(last=False)
 
 
 def _cache_key(kind: str, name: str, config: RunConfig) -> tuple:
@@ -82,6 +134,7 @@ def _cache_key(kind: str, name: str, config: RunConfig) -> tuple:
         config.window_uops,
         config.warm_uops,
         config.seed,
+        config.fault_plan,
         p.smt_threads,
         p.llc,
         p.l2,
@@ -94,21 +147,33 @@ def _cache_key(kind: str, name: str, config: RunConfig) -> tuple:
     )
 
 
+def _attach_faults(app: ServerApp, config: RunConfig) -> None:
+    """Attach a fresh injector when the config schedules faults."""
+    if config.fault_plan is not None:
+        app.attach_faults(FaultInjector(config.fault_plan))
+
+
+def _guarded(app: ServerApp, tid: int, budget: int, label: str):
+    """An app trace wrapped in the runaway-trace watchdog."""
+    return guard_trace(app.trace(tid, budget), trace_budget(budget), label)
+
+
 def run_workload(name: str, config: RunConfig | None = None,
                  use_cache: bool = True) -> WorkloadRun:
     """Measure one workload on one core (the Figures 1/2/5/7 setup)."""
     config = config or RunConfig()
     key = _cache_key("single", name, config)
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
+    if use_cache and (hit := _cache_get(key)) is not None:
+        return hit
     app = build_app(name, seed=config.seed)
+    _attach_faults(app, config)
     hierarchy = MemoryHierarchy(config.params)
     app.warm(hierarchy, trace_uops=config.warm_uops)
     core = Core(config.params, hierarchy)
-    result = core.run([app.trace(0, config.window_uops)])
+    result = core.run([_guarded(app, 0, config.window_uops, name)])
     run = WorkloadRun(name, config, result, app)
     if use_cache:
-        _CACHE[key] = run
+        _cache_put(key, run)
     return run
 
 
@@ -119,17 +184,19 @@ def run_workload_smt(name: str, config: RunConfig | None = None,
     smt_params = config.params.with_smt(2)
     config = replace(config, params=smt_params)
     key = _cache_key("smt", name, config)
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
+    if use_cache and (hit := _cache_get(key)) is not None:
+        return hit
     app = build_app(name, seed=config.seed)
+    _attach_faults(app, config)
     hierarchy = MemoryHierarchy(smt_params)
     app.warm(hierarchy, trace_uops=config.warm_uops)
     core = Core(smt_params, hierarchy)
     half = config.window_uops // 2
-    result = core.run([app.trace(0, half), app.trace(1, half)])
+    result = core.run([_guarded(app, 0, half, name),
+                       _guarded(app, 1, half, name)])
     run = WorkloadRun(name, config, result, app)
     if use_cache:
-        _CACHE[key] = run
+        _cache_put(key, run)
     return run
 
 
@@ -168,22 +235,24 @@ def _run_member(group: str, member: str, config: RunConfig,
     params = config.params.with_smt(2) if smt else config.params
     key = _cache_key("smt-member" if smt else "member", f"{group}:{member}",
                      replace(config, params=params))
-    if key in _CACHE:
-        return _CACHE[key]
+    if (hit := _cache_get(key)) is not None:
+        return hit
     spec = REGISTRY[group]
     app_cls = type(spec.factory(0))
     app = app_cls(seed=config.seed, member=member)
+    _attach_faults(app, config)
     hierarchy = MemoryHierarchy(params)
     app.warm(hierarchy, trace_uops=config.warm_uops)
     core = Core(params, hierarchy)
+    label = f"{group}:{member}"
     if smt:
         half = config.window_uops // 2
-        result = core.run([app.trace(0, half), app.trace(1, half)])
+        result = core.run([_guarded(app, 0, half, label),
+                           _guarded(app, 1, half, label)])
     else:
-        result = core.run([app.trace(0, config.window_uops)])
-    run = WorkloadRun(f"{group}:{member}", replace(config, params=params),
-                      result, app)
-    _CACHE[key] = run
+        result = core.run([_guarded(app, 0, config.window_uops, label)])
+    run = WorkloadRun(label, replace(config, params=params), result, app)
+    _cache_put(key, run)
     return run
 
 
@@ -227,13 +296,14 @@ def run_workload_chip(
 
     config = config or RunConfig()
     key = _cache_key(f"chip{num_cores}x{segments}", name, config)
-    if use_cache and key in _CACHE:
-        return _CACHE[key]  # type: ignore[return-value]
+    if use_cache and (hit := _cache_get(key)) is not None:
+        return hit  # type: ignore[return-value]
     spec = REGISTRY[name]
     if spec.multithreaded:
         # One server process: its threads share the dataset and kernel.
         apps = [build_app(name, seed=config.seed)] * num_cores
         tids = list(range(num_cores))
+        _attach_faults(apps[0], config)
     else:
         # One independent process per core (SAT Solver, PARSEC, SPECint
         # run one instance per core, §3.2/§3.3): disjoint address spaces.
@@ -243,6 +313,7 @@ def run_workload_chip(
         for i in range(num_cores):
             set_default_asid(i)
             apps.append(build_app(name, seed=config.seed + i))
+            _attach_faults(apps[-1], config)
         set_default_asid(0)
         tids = [0] * num_cores
     chip = Chip(config.params, num_cores=num_cores)
@@ -259,5 +330,5 @@ def run_workload_chip(
     result = chip.run_segments(per_core_segments)
     run = ChipRun(name, config, chip, result, apps[0])
     if use_cache:
-        _CACHE[key] = run  # type: ignore[assignment]
+        _cache_put(key, run)  # type: ignore[arg-type]
     return run

@@ -1,0 +1,67 @@
+"""The per-run interpreter of a :class:`~repro.faults.plan.FaultPlan`.
+
+One injector is attached to one application instance for the lifetime
+of a run (warmup included).  It owns the request clock — every serve
+call ticks it — and the private RNG all degraded paths draw from, so a
+``(workload, seed, plan)`` triple maps to exactly one micro-op trace.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultPlan
+
+
+class FaultInjector:
+    """Schedules fault events against a running workload.
+
+    The injector is deliberately passive: applications ask it what is
+    active (:meth:`tick`), draw randomness from it (:meth:`roll`), and
+    report what they did (:meth:`count`).  All state is deterministic
+    under the plan's seed.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.rng = random.Random(plan.seed ^ 0x0FA7157)
+        self.requests_seen = 0
+        #: Requests during which each kind's window was open.
+        self.exposure: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        #: Degraded-path executions, by kind (apps report via count()).
+        self.fired: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        self.dropped_requests = 0
+
+    @property
+    def enabled(self) -> bool:
+        """False for empty plans: an inert injector changes nothing."""
+        return not self.plan.is_empty()
+
+    def tick(self) -> tuple[FaultEvent, ...]:
+        """Advance the request clock; return the open fault windows."""
+        index = self.requests_seen
+        self.requests_seen += 1
+        if not self.plan.events:
+            return ()
+        active = self.plan.active_at(index)
+        for event in active:
+            self.exposure[event.kind] += 1
+        return active
+
+    def roll(self, probability: float) -> bool:
+        """A deterministic Bernoulli draw from the injector's RNG."""
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        return self.rng.random() < probability
+
+    def count(self, kind: str, dropped: bool = False) -> None:
+        """Record that a degraded path of ``kind`` actually executed."""
+        self.fired[kind] += 1
+        if dropped:
+            self.dropped_requests += 1
+
+    def total_fired(self) -> int:
+        """Degraded-path executions across all kinds."""
+        return sum(self.fired.values())

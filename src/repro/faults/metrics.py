@@ -1,0 +1,118 @@
+"""Service-level metrics: what the clients observe end to end.
+
+The paper's figures are all server-side microarchitectural counters;
+degraded-mode characterization also needs the client's view — how many
+requests succeeded (goodput), how often the client retried or hedged,
+and what the latency tail looked like.  :class:`ServiceMetrics` is the
+accumulator both load generators and the applications feed.
+"""
+
+from __future__ import annotations
+
+
+class ServiceMetrics:
+    """Accumulates per-request outcomes for one run.
+
+    Latencies are simulated work units (micro-ops emitted on the
+    request's service path, including any degraded-path work and
+    backoff delays charged by the retry policy).
+    """
+
+    #: Latency samples kept before decimation kicks in.
+    MAX_SAMPLES = 65_536
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.successes = 0
+        self.failures = 0
+        self.retries = 0
+        self.hedges = 0
+        self.timeouts = 0
+        self.drops = 0
+        self._latencies: list[int] = []
+        self._stride = 1
+        self._skip = 0
+
+    # -- recording ---------------------------------------------------------
+    def observe(self, latency: int, ok: bool = True, retries: int = 0,
+                hedged: bool = False, timed_out: bool = False,
+                dropped: bool = False) -> None:
+        """Record one request's end-to-end outcome."""
+        self.requests += 1
+        if ok:
+            self.successes += 1
+        else:
+            self.failures += 1
+        self.retries += retries
+        if hedged:
+            self.hedges += 1
+        if timed_out:
+            self.timeouts += 1
+        if dropped:
+            self.drops += 1
+        self._sample(latency)
+
+    def _sample(self, latency: int) -> None:
+        # Uniform decimation: keep every Nth sample once full, doubling
+        # N as needed — percentile estimates stay unbiased and bounded.
+        self._skip += 1
+        if self._skip < self._stride:
+            return
+        self._skip = 0
+        self._latencies.append(latency)
+        if len(self._latencies) >= self.MAX_SAMPLES:
+            self._latencies = self._latencies[::2]
+            self._stride *= 2
+
+    def merge(self, other: "ServiceMetrics") -> None:
+        """Fold another accumulator into this one (multi-client runs)."""
+        self.requests += other.requests
+        self.successes += other.successes
+        self.failures += other.failures
+        self.retries += other.retries
+        self.hedges += other.hedges
+        self.timeouts += other.timeouts
+        self.drops += other.drops
+        for latency in other._latencies:
+            self._sample(latency)
+
+    # -- derived metrics ---------------------------------------------------
+    def goodput(self) -> float:
+        """Fraction of issued requests that ultimately succeeded."""
+        return self.successes / self.requests if self.requests else 0.0
+
+    def retry_rate(self) -> float:
+        """Retries per issued request."""
+        return self.retries / self.requests if self.requests else 0.0
+
+    def percentile(self, q: float) -> int:
+        """The ``q``-quantile latency (nearest-rank, ``q`` in [0, 1])."""
+        if not self._latencies:
+            return 0
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        ordered = sorted(self._latencies)
+        rank = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[rank]
+
+    def p50(self) -> int:
+        """Median latency."""
+        return self.percentile(0.50)
+
+    def p99(self) -> int:
+        """Tail latency: the 99th-percentile simulated service time."""
+        return self.percentile(0.99)
+
+    def summary(self) -> dict[str, float | int]:
+        """The figure-8 row payload (JSON-serializable)."""
+        return {
+            "requests": self.requests,
+            "goodput": self.goodput(),
+            "retry_rate": self.retry_rate(),
+            "retries": self.retries,
+            "hedges": self.hedges,
+            "timeouts": self.timeouts,
+            "drops": self.drops,
+            "p50": self.p50(),
+            "p99": self.p99(),
+        }

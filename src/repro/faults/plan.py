@@ -1,0 +1,166 @@
+"""Fault schedules: what goes wrong, when, and for how long.
+
+A :class:`FaultPlan` is a frozen, hashable value object — it can sit
+inside a :class:`~repro.core.runner.RunConfig` and participate in the
+measurement cache key.  Time is measured in *requests served* (the
+injector's clock), the only notion of progress every workload shares;
+windows therefore scale naturally with the measurement window.
+
+Events may be one-shot (``period == 0``) or periodic (``period > 0``),
+in which case the fault re-opens every ``period`` requests.  Periodic
+events are what the canonical degraded plans use: they guarantee that
+any measurement window, however short, observes the same *rate* of
+faults.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: The event taxonomy (docs/resilience.md describes each mode).
+FAULT_KINDS = (
+    "replica-crash",
+    "straggler",
+    "request-drop",
+    "gc-storm",
+    "memory-pressure",
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault window.
+
+    ``at_request`` is the request index at which the window first
+    opens, ``duration`` how many requests it spans, and ``period``
+    (if positive) the recurrence interval.  ``severity`` scales the
+    degraded work a handler performs (drop probability, scan sizes,
+    straggler inflation) and must stay in (0, 4].
+    """
+
+    kind: str
+    at_request: int
+    duration: int
+    period: int = 0
+    severity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"known: {', '.join(FAULT_KINDS)}")
+        if self.at_request < 0:
+            raise ValueError("at_request must be non-negative")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.period and self.period < self.duration:
+            raise ValueError("period must be zero or >= duration")
+        if not 0.0 < self.severity <= 4.0:
+            raise ValueError("severity must be in (0, 4]")
+
+    def active_at(self, request_index: int) -> bool:
+        """Whether this window is open at ``request_index``."""
+        if request_index < self.at_request:
+            return False
+        if not self.period:
+            return request_index < self.at_request + self.duration
+        return (request_index - self.at_request) % self.period < self.duration
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of fault events.
+
+    ``seed`` feeds the injector's private RNG, so two runs with the
+    same plan draw identical per-request randomness (drop coin flips,
+    backoff jitter) — the determinism contract the test suite enforces.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Tolerate lists at construction; store a hashable tuple.
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+
+    @classmethod
+    def empty(cls) -> "FaultPlan":
+        """The no-fault plan (a strict no-op when attached to a run)."""
+        return cls()
+
+    @classmethod
+    def degraded(cls, seed: int = 0, intensity: float = 1.0) -> "FaultPlan":
+        """The canonical degraded-mode plan used by the Figure 8 sweep.
+
+        Every fault kind recurs periodically so any measurement window
+        sees the same fault *rates*; ``intensity`` scales severities.
+        """
+        if not 0.0 < intensity <= 4.0:
+            raise ValueError("intensity must be in (0, 4]")
+        s = intensity
+        return cls(
+            events=(
+                FaultEvent("replica-crash", at_request=24, duration=12,
+                           period=64, severity=s),
+                FaultEvent("straggler", at_request=40, duration=10,
+                           period=80, severity=s),
+                FaultEvent("request-drop", at_request=8, duration=16,
+                           period=48, severity=s),
+                FaultEvent("gc-storm", at_request=56, duration=8,
+                           period=96, severity=s),
+                FaultEvent("memory-pressure", at_request=72, duration=8,
+                           period=128, severity=s),
+            ),
+            seed=seed,
+        )
+
+    @classmethod
+    def generate(cls, seed: int, horizon: int = 2_000,
+                 kinds: tuple[str, ...] = FAULT_KINDS,
+                 events_per_kind: int = 3,
+                 intensity: float = 1.0) -> "FaultPlan":
+        """Draw a randomized (but seed-deterministic) schedule.
+
+        Spreads ``events_per_kind`` one-shot windows of each kind over
+        ``[0, horizon)`` requests with durations and severities drawn
+        from a private RNG — the same seed always yields the same plan.
+        """
+        rng = random.Random(seed ^ 0xFA17)
+        events = []
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+            for _ in range(events_per_kind):
+                start = rng.randrange(0, max(1, horizon))
+                duration = rng.randrange(4, 24)
+                severity = min(4.0, intensity * (0.5 + rng.random()))
+                events.append(FaultEvent(kind, start, duration,
+                                         severity=severity))
+        events.sort(key=lambda e: (e.at_request, e.kind))
+        return cls(events=tuple(events), seed=seed)
+
+    def is_empty(self) -> bool:
+        """True when the plan schedules nothing."""
+        return not self.events
+
+    def active_at(self, request_index: int) -> tuple[FaultEvent, ...]:
+        """The events whose windows are open at ``request_index``, in
+        schedule order (at most one per kind — the earliest wins)."""
+        seen: dict[str, FaultEvent] = {}
+        for event in self.events:
+            if event.kind not in seen and event.active_at(request_index):
+                seen[event.kind] = event
+        return tuple(seen.values())
+
+    def describe(self) -> str:
+        """One line per event, for logs and the resilience docs."""
+        if not self.events:
+            return "(empty plan)"
+        lines = []
+        for e in self.events:
+            recur = f" every {e.period}" if e.period else ""
+            lines.append(f"{e.kind:<16} at {e.at_request:>5} "
+                         f"for {e.duration:>3} requests{recur} "
+                         f"(severity {e.severity:.2f})")
+        return "\n".join(lines)

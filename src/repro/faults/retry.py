@@ -1,0 +1,84 @@
+"""Client-side resilience policy: backoff, timeouts, hedging.
+
+Latencies throughout are in *simulated work units* — the micro-ops a
+request's service path emitted — because that is the deterministic
+clock the trace-driven harness has before core timing runs.  A
+:class:`RetryPolicy` turns a failure into a bounded, monotone,
+jittered backoff schedule, decides when a slow request gets a hedged
+duplicate, and caps how many attempts a client makes before giving up.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with bounded jitter, plus timeout/hedging.
+
+    * attempt ``i`` (0-based retry index) backs off a nominal
+      ``base_delay * multiplier**i``, hard-capped at ``cap_delay``;
+    * jitter inflates each nominal delay by a factor drawn uniformly
+      from ``[1, 1 + jitter]`` (never below nominal, so schedules stay
+      monotone non-decreasing after the cap clamp);
+    * a request slower than ``hedge_after`` gets a hedged duplicate;
+      one slower than ``timeout`` counts as timed out and is retried.
+    """
+
+    base_delay: int = 1_500
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    max_retries: int = 3
+    cap_delay: int = 12_000
+    timeout: int = 24_000
+    hedge_after: int = 9_000
+    #: Probability a retry of a dropped request fails again (the fault
+    #: window usually outlives one backoff delay).
+    retry_failure_p: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.base_delay <= 0 or self.cap_delay < self.base_delay:
+            raise ValueError("need 0 < base_delay <= cap_delay")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if not 0.0 <= self.retry_failure_p < 1.0:
+            raise ValueError("retry_failure_p must be in [0, 1)")
+
+    def schedule(self, rng: random.Random) -> list[int]:
+        """The backoff delays for retries ``1..max_retries``.
+
+        Guaranteed monotone non-decreasing, each delay within
+        ``[nominal, nominal * (1 + jitter)]`` and never above
+        ``cap_delay``.
+        """
+        delays: list[int] = []
+        previous = 0
+        for attempt in range(self.max_retries):
+            nominal = min(self.cap_delay,
+                          int(self.base_delay * self.multiplier ** attempt))
+            jittered = min(self.cap_delay,
+                           int(nominal * (1.0 + self.jitter * rng.random())))
+            value = max(previous, jittered)
+            delays.append(value)
+            previous = value
+        return delays
+
+    def resolve_failure(self, rng: random.Random) -> tuple[int, bool, int]:
+        """Play out the retry loop for one failed request.
+
+        Returns ``(retries, succeeded, backoff_spent)``: how many
+        retries were issued, whether one of them succeeded, and the
+        total backoff delay spent waiting (simulated work units).
+        """
+        spent = 0
+        for index, delay in enumerate(self.schedule(rng)):
+            spent += delay
+            if rng.random() >= self.retry_failure_p:
+                return index + 1, True, spent
+        return self.max_retries, False, spent

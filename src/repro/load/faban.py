@@ -6,6 +6,12 @@ client sessions; each session repeatedly issues the next operation of
 its scenario (chosen by the workload's operation mix) against the
 server under test.  Sessions are independent — exactly the "large
 numbers of completely independent requests" property of §2.2.
+
+Resilience: the driver carries a per-request
+:class:`~repro.faults.retry.RetryPolicy` (timeouts, capped jittered
+backoff, hedging) and a :class:`~repro.faults.metrics.ServiceMetrics`
+accumulator recording the client-visible outcome of every operation,
+mirroring Faban's operation-level success/error accounting.
 """
 
 from __future__ import annotations
@@ -13,6 +19,9 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
+
+from repro.faults.metrics import ServiceMetrics
+from repro.faults.retry import RetryPolicy
 
 
 @dataclass
@@ -32,6 +41,8 @@ class FabanDriver:
         num_clients: int,
         operations: Sequence[tuple[str, float]],
         seed: int = 0,
+        retry: RetryPolicy | None = None,
+        metrics: ServiceMetrics | None = None,
     ) -> None:
         """``operations`` is a weighted mix of (operation name, weight)."""
         if num_clients <= 0:
@@ -41,6 +52,8 @@ class FabanDriver:
         total = sum(weight for _, weight in operations)
         if total <= 0:
             raise ValueError("operation weights must sum to a positive value")
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._ops = [name for name, _ in operations]
         self._cdf: list[float] = []
         acc = 0.0
@@ -84,11 +97,25 @@ class FabanDriver:
         self.issued[self._ops[-1]] += 1
         return session, self._ops[-1]
 
+    def observe(self, latency: int, ok: bool = True, retries: int = 0,
+                dropped: bool = False) -> None:
+        """Record one completed operation's client-visible outcome,
+        classifying hedges and timeouts against the retry policy."""
+        self.metrics.observe(
+            latency,
+            ok=ok,
+            retries=retries,
+            hedged=latency > self.retry.hedge_after,
+            timed_out=latency > self.retry.timeout,
+            dropped=dropped,
+        )
+
     def run(
         self,
         handler: Callable[[ClientSession, str], None],
         num_requests: int,
     ) -> None:
+        """Issue ``num_requests`` operations through ``handler``."""
         for _ in range(num_requests):
             session, op = self.next_request()
             handler(session, op)

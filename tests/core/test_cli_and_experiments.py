@@ -9,19 +9,48 @@ from repro.core.runner import RunConfig
 
 class TestCliParsing:
     def test_defaults(self):
-        args, config, bars = _parse_config(["figure1"])
+        args, config, bars, fresh = _parse_config(["figure1"])
         assert args == ["figure1"]
         assert config.window_uops == 80_000
         assert config.warm_uops == 80_000 // 3
         assert not bars
+        assert not fresh
 
     def test_window_and_warm_flags(self):
-        args, config, bars = _parse_config(["run", "tpc-c", "--window", "5000",
-                                            "--warm", "1000", "--bars"])
+        args, config, bars, fresh = _parse_config(
+            ["run", "tpc-c", "--window", "5000",
+             "--warm", "1000", "--bars"])
         assert args == ["run", "tpc-c"]
         assert config.window_uops == 5000
         assert config.warm_uops == 1000
         assert bars
+        assert not fresh
+
+    def test_seed_and_fresh_flags(self):
+        args, config, bars, fresh = _parse_config(
+            ["faults", "--seed", "11", "--fresh"])
+        assert args == ["faults"]
+        assert config.seed == 11
+        assert fresh
+
+    def test_help_flags_pass_through(self):
+        args, _, _, _ = _parse_config(["-h"])
+        assert args == ["-h"]
+
+    @pytest.mark.parametrize("argv", [
+        ["figure1", "--window"],            # missing value
+        ["figure1", "--window", "abc"],     # non-integer value
+        ["figure1", "--warm"],
+        ["figure1", "--warm", "2.5"],
+        ["figure1", "--seed", "x"],
+        ["--bogus"],                        # unknown flag
+        ["-x", "figure1"],
+    ])
+    def test_malformed_flags_exit_with_usage_error(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _parse_config(argv)
+        assert exc.value.code == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestCliCommands:
@@ -50,6 +79,15 @@ class TestCliCommands:
     def test_table1_command(self, capsys):
         assert main(["table1"]) == 0
         assert "Reorder buffer" in capsys.readouterr().out
+
+    def test_faults_rejects_unknown_workload(self, capsys):
+        assert main(["faults", "no-such-workload"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_malformed_flag_exits_via_main(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["figure1", "--window", "many"])
+        assert exc.value.code == 2
 
 
 class TestExperimentRegistry:

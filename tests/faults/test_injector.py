@@ -1,0 +1,64 @@
+"""The fault injector: request clock, exposure accounting, RNG."""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultPlan
+
+
+def _plan(*events, seed=0):
+    return FaultPlan(events=tuple(events), seed=seed)
+
+
+class TestEnablement:
+    def test_empty_plan_is_inert(self):
+        injector = FaultInjector(FaultPlan.empty())
+        assert not injector.enabled
+        assert injector.tick() == ()
+        assert injector.total_fired() == 0
+
+    def test_nonempty_plan_is_enabled(self):
+        injector = FaultInjector(
+            _plan(FaultEvent("straggler", at_request=0, duration=1)))
+        assert injector.enabled
+
+
+class TestClock:
+    def test_tick_advances_and_reports_open_windows(self):
+        injector = FaultInjector(
+            _plan(FaultEvent("gc-storm", at_request=2, duration=2)))
+        opened = [bool(injector.tick()) for _ in range(6)]
+        assert opened == [False, False, True, True, False, False]
+        assert injector.requests_seen == 6
+        assert injector.exposure["gc-storm"] == 2
+
+    def test_count_tracks_fired_and_drops(self):
+        injector = FaultInjector(
+            _plan(FaultEvent("request-drop", at_request=0, duration=4)))
+        injector.count("request-drop", dropped=True)
+        injector.count("straggler")
+        assert injector.fired["request-drop"] == 1
+        assert injector.fired["straggler"] == 1
+        assert injector.dropped_requests == 1
+        assert injector.total_fired() == 2
+
+
+class TestRandomness:
+    def test_roll_edge_probabilities(self):
+        injector = FaultInjector(FaultPlan.empty())
+        assert not injector.roll(0.0)
+        assert not injector.roll(-1.0)
+        assert injector.roll(1.0)
+        assert injector.roll(2.0)
+
+    def test_rng_is_plan_seed_deterministic(self):
+        plan = _plan(FaultEvent("straggler", at_request=0, duration=1), seed=9)
+        a = FaultInjector(plan)
+        b = FaultInjector(plan)
+        assert [a.rng.random() for _ in range(20)] \
+            == [b.rng.random() for _ in range(20)]
+
+    def test_different_plan_seeds_draw_differently(self):
+        event = FaultEvent("straggler", at_request=0, duration=1)
+        a = FaultInjector(_plan(event, seed=1))
+        b = FaultInjector(_plan(event, seed=2))
+        assert [a.rng.random() for _ in range(5)] \
+            != [b.rng.random() for _ in range(5)]

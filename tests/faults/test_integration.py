@@ -1,0 +1,187 @@
+"""End-to-end fault-injection contracts.
+
+The determinism contract — one ``(workload, seed, plan)`` triple maps
+to exactly one micro-op trace and one measurement — and the strict
+no-op contract for empty plans, plus the degraded-mode acceptance
+shape the Figure 8 extension reports.
+"""
+
+import pytest
+
+from repro.core.experiments import figure8_faults
+from repro.core.runner import (
+    RunConfig,
+    run_workload,
+    run_workload_chip,
+    run_workload_smt,
+)
+from repro.core.workloads import build_app
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+
+FAULTED = RunConfig(window_uops=8_000, warm_uops=3_000, seed=7,
+                    fault_plan=FaultPlan.degraded(seed=7))
+HEALTHY = RunConfig(window_uops=8_000, warm_uops=3_000, seed=7)
+
+
+def _signature(app, budget=6_000):
+    return [(u.kind, u.pc, u.addr, u.deps) for u in app.trace(0, budget)]
+
+
+def _faulted_app(name, plan, seed=7):
+    app = build_app(name, seed=seed)
+    app.attach_faults(FaultInjector(plan))
+    return app
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["data-serving", "web-search"])
+    def test_faulted_traces_are_byte_identical(self, name):
+        plan = FaultPlan.degraded(seed=3)
+        first = _signature(_faulted_app(name, plan))
+        second = _signature(_faulted_app(name, plan))
+        assert first == second
+
+    def test_faulted_counters_are_bit_identical(self):
+        first = run_workload("data-serving", FAULTED, use_cache=False)
+        second = run_workload("data-serving", FAULTED, use_cache=False)
+        for field in ("cycles", "instructions", "l1i_misses", "l2i_misses",
+                      "llc_misses", "loads", "stores", "branches",
+                      "offchip_bytes"):
+            assert getattr(first.result, field) \
+                == getattr(second.result, field), field
+        assert first.app.service.summary() == second.app.service.summary()
+        assert first.app.faults.fired == second.app.faults.fired
+
+    def test_plan_seed_changes_the_measurement(self):
+        other = RunConfig(window_uops=8_000, warm_uops=3_000, seed=7,
+                          fault_plan=FaultPlan.degraded(seed=8))
+        first = run_workload("data-serving", FAULTED)
+        second = run_workload("data-serving", other)
+        assert first.result.cycles != second.result.cycles
+
+
+class TestEmptyPlanIsStrictNoOp:
+    def test_config_normalizes_empty_plan_to_none(self):
+        with_empty = RunConfig(window_uops=8_000, warm_uops=3_000,
+                               fault_plan=FaultPlan.empty())
+        without = RunConfig(window_uops=8_000, warm_uops=3_000)
+        assert with_empty.fault_plan is None
+        assert with_empty == without
+
+    @pytest.mark.parametrize(
+        "name", ["data-serving", "mapreduce", "media-streaming", "web-search"])
+    def test_empty_injector_leaves_traces_untouched(self, name):
+        healthy = build_app(name, seed=5)
+        attached = _faulted_app(name, FaultPlan.empty(), seed=5)
+        assert attached.faults is None  # never armed
+        assert attached.layout.app_code_bytes() \
+            == healthy.layout.app_code_bytes()
+        assert _signature(attached, 4_000) == _signature(healthy, 4_000)
+
+    def test_every_runner_pipeline_shares_the_healthy_cache_entry(
+            self, tiny_config):
+        empty = RunConfig(window_uops=tiny_config.window_uops,
+                          warm_uops=tiny_config.warm_uops,
+                          fault_plan=FaultPlan.empty())
+        assert run_workload("web-search", empty) \
+            is run_workload("web-search", tiny_config)
+        assert run_workload_smt("web-search", empty) \
+            is run_workload_smt("web-search", tiny_config)
+        assert run_workload_chip("web-search", empty) \
+            is run_workload_chip("web-search", tiny_config)
+
+
+class TestDegradedModeAcceptance:
+    def test_degraded_serving_pays_in_ifootprint_and_tail(self):
+        healthy = run_workload("data-serving", HEALTHY)
+        degraded = run_workload("data-serving", FAULTED)
+
+        from repro.core import analysis
+
+        # Fault handling executes real extra code: the instruction
+        # footprint (and its L1-I miss rate) must grow measurably.
+        assert degraded.app.layout.app_code_bytes() \
+            > healthy.app.layout.app_code_bytes()
+        assert analysis.instruction_mpki(degraded.result) \
+            > analysis.instruction_mpki(healthy.result)
+
+        # Clients observed the faults: retries happened, the latency
+        # tail stretched, but goodput loss stayed bounded.
+        service = degraded.app.service
+        assert service.retries > 0
+        assert service.p99() > healthy.app.service.p99()
+        assert service.goodput() >= 0.9
+        assert degraded.app.faults.total_fired() > 0
+
+    def test_healthy_runs_never_touch_fault_accounting(self):
+        healthy = run_workload("data-serving", HEALTHY)
+        assert healthy.app.faults is None
+        assert healthy.app.service.retries == 0
+        assert healthy.app.service.goodput() == 1.0
+
+
+class TestFigure8:
+    def test_table_shape_without_a_manifest(self):
+        table = figure8_faults.run(HEALTHY, workloads=["data-serving"],
+                                   manifest_path=None)
+        assert [row["Mode"] for row in table.rows] == ["healthy", "degraded"]
+        assert figure8_faults.mpki_delta(table, "Data Serving") > 0.0
+        with pytest.raises(KeyError):
+            figure8_faults.mpki_delta(table, "No Such Workload")
+
+    def test_rejects_unknown_workloads(self):
+        with pytest.raises(KeyError):
+            figure8_faults.run(HEALTHY, workloads=["bogus"],
+                               manifest_path=None)
+
+    def test_resume_skips_completed_cells(self, tmp_path, monkeypatch):
+        path = tmp_path / "figure8.json"
+        first = figure8_faults.run(HEALTHY, workloads=["data-serving"],
+                                   manifest_path=path)
+        assert path.exists()
+
+        def boom(name, config):
+            raise AssertionError("completed cells must not recompute")
+
+        monkeypatch.setattr(figure8_faults, "_measure_cell", boom)
+        second = figure8_faults.run(HEALTHY, workloads=["data-serving"],
+                                    manifest_path=path)
+        assert second.to_text() == first.to_text()
+
+    def test_partial_manifest_computes_only_missing_cells(
+            self, tmp_path, monkeypatch):
+        path = tmp_path / "figure8.json"
+        figure8_faults.run(HEALTHY, workloads=["data-serving"],
+                           manifest_path=path)
+
+        computed = []
+        real = figure8_faults._measure_cell
+
+        def counting(name, config):
+            computed.append((name, config.fault_plan is not None))
+            return real(name, config)
+
+        monkeypatch.setattr(figure8_faults, "_measure_cell", counting)
+        table = figure8_faults.run(HEALTHY,
+                                   workloads=["data-serving", "web-search"],
+                                   manifest_path=path)
+        assert computed == [("web-search", False), ("web-search", True)]
+        assert len(table.rows) == 4
+
+    def test_fresh_discards_the_manifest(self, tmp_path, monkeypatch):
+        path = tmp_path / "figure8.json"
+        figure8_faults.run(HEALTHY, workloads=["data-serving"],
+                           manifest_path=path)
+
+        computed = []
+        real = figure8_faults._measure_cell
+
+        def counting(name, config):
+            computed.append(name)
+            return real(name, config)
+
+        monkeypatch.setattr(figure8_faults, "_measure_cell", counting)
+        figure8_faults.run(HEALTHY, workloads=["data-serving"],
+                           manifest_path=path, fresh=True)
+        assert computed == ["data-serving", "data-serving"]

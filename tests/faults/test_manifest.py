@@ -1,0 +1,76 @@
+"""Crash-safe sweep manifests: atomic persistence and invalidation."""
+
+import json
+
+from repro.faults.manifest import SweepManifest
+
+META = {"experiment": "figure8", "window": 8_000, "seed": 7}
+
+
+class TestRoundTrip:
+    def test_put_get_and_persistence(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        first = SweepManifest(path, META)
+        assert len(first) == 0
+        first.put("data-serving|healthy", {"ipc": 0.33})
+        assert "data-serving|healthy" in first
+
+        second = SweepManifest(path, META)
+        assert len(second) == 1
+        assert second.get("data-serving|healthy") == {"ipc": 0.33}
+        assert second.get("missing") is None
+
+    def test_writes_are_atomic_leaving_no_temp_files(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        manifest = SweepManifest(path, META)
+        for index in range(5):
+            manifest.put(f"cell-{index}", {"value": index})
+        leftovers = [p for p in tmp_path.iterdir() if p.name != path.name]
+        assert leftovers == []
+        assert json.loads(path.read_text())["version"] == 1
+
+    def test_discard_removes_the_file(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        manifest = SweepManifest(path, META)
+        manifest.put("cell", {"value": 1})
+        manifest.discard()
+        assert not path.exists()
+        assert len(manifest) == 0
+        manifest.discard()  # idempotent on a missing file
+
+
+class TestInvalidation:
+    def test_corrupt_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text("{ not json")
+        assert len(SweepManifest(path, META)) == 0
+
+    def test_non_dict_document_starts_fresh(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text("[1, 2, 3]")
+        assert len(SweepManifest(path, META)) == 0
+
+    def test_version_mismatch_starts_fresh(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        SweepManifest(path, META).put("cell", {"value": 1})
+        document = json.loads(path.read_text())
+        document["version"] = 99
+        path.write_text(json.dumps(document))
+        assert len(SweepManifest(path, META)) == 0
+
+    def test_meta_mismatch_starts_fresh(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        SweepManifest(path, META).put("cell", {"value": 1})
+        other = dict(META, window=16_000)
+        assert len(SweepManifest(path, other)) == 0
+        # The matching meta still reads it.
+        assert len(SweepManifest(path, META)) == 1
+
+    def test_malformed_cells_are_skipped(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        document = {"version": 1, "meta": META,
+                    "cells": {"good": {"x": 1}, "bad": "not-a-dict"}}
+        path.write_text(json.dumps(document))
+        manifest = SweepManifest(path, META)
+        assert "good" in manifest
+        assert "bad" not in manifest

@@ -1,0 +1,88 @@
+"""Service metrics: counters, percentiles, bounded sampling."""
+
+import pytest
+
+from repro.faults.metrics import ServiceMetrics
+
+
+class TestCounters:
+    def test_observe_accumulates(self):
+        m = ServiceMetrics()
+        m.observe(100)
+        m.observe(200, ok=False, retries=3, hedged=True, timed_out=True,
+                  dropped=True)
+        assert m.requests == 2
+        assert m.successes == 1
+        assert m.failures == 1
+        assert m.retries == 3
+        assert m.hedges == 1
+        assert m.timeouts == 1
+        assert m.drops == 1
+
+    def test_goodput_and_retry_rate(self):
+        m = ServiceMetrics()
+        assert m.goodput() == 0.0
+        assert m.retry_rate() == 0.0
+        for _ in range(3):
+            m.observe(10)
+        m.observe(10, ok=False, retries=2)
+        assert m.goodput() == pytest.approx(0.75)
+        assert m.retry_rate() == pytest.approx(0.5)
+
+    def test_summary_is_json_shaped(self):
+        import json
+
+        m = ServiceMetrics()
+        m.observe(50, retries=1)
+        summary = m.summary()
+        assert json.loads(json.dumps(summary)) == summary
+        for key in ("requests", "goodput", "retry_rate", "retries",
+                    "hedges", "timeouts", "drops", "p50", "p99"):
+            assert key in summary
+
+
+class TestPercentiles:
+    def test_nearest_rank(self):
+        m = ServiceMetrics()
+        for latency in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]:
+            m.observe(latency)
+        assert m.p50() == 60
+        assert m.p99() == 100
+        assert m.percentile(0.0) == 10
+        assert m.percentile(1.0) == 100
+
+    def test_empty_percentile_is_zero(self):
+        assert ServiceMetrics().p99() == 0
+
+    def test_rejects_out_of_range_quantile(self):
+        m = ServiceMetrics()
+        m.observe(1)
+        with pytest.raises(ValueError):
+            m.percentile(1.5)
+
+
+class TestSampling:
+    def test_decimation_bounds_memory(self):
+        class Small(ServiceMetrics):
+            """A metrics accumulator with a tiny sample buffer."""
+            MAX_SAMPLES = 64
+
+        m = Small()
+        for latency in range(1_000):
+            m.observe(latency)
+        assert len(m._latencies) < 64 * 2
+        assert m.requests == 1_000
+        # Decimated percentiles still track the distribution.
+        assert 400 <= m.p50() <= 600
+
+    def test_merge_folds_counters_and_samples(self):
+        a = ServiceMetrics()
+        b = ServiceMetrics()
+        for latency in range(100):
+            a.observe(latency)
+        for latency in range(100, 200):
+            b.observe(latency, retries=1)
+        a.merge(b)
+        assert a.requests == 200
+        assert a.retries == 100
+        assert a.percentile(1.0) == 199

@@ -1,0 +1,101 @@
+"""Fault plans and events: validation, scheduling, determinism."""
+
+import pytest
+
+from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultPlan
+
+
+class TestFaultEvent:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultEvent("meteor-strike", at_request=0, duration=1)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            FaultEvent("straggler", at_request=-1, duration=1)
+        with pytest.raises(ValueError):
+            FaultEvent("straggler", at_request=0, duration=0)
+        with pytest.raises(ValueError):
+            FaultEvent("straggler", at_request=0, duration=10, period=5)
+        with pytest.raises(ValueError):
+            FaultEvent("straggler", at_request=0, duration=1, severity=0.0)
+        with pytest.raises(ValueError):
+            FaultEvent("straggler", at_request=0, duration=1, severity=5.0)
+
+    def test_one_shot_window(self):
+        event = FaultEvent("gc-storm", at_request=10, duration=5)
+        assert not event.active_at(9)
+        assert event.active_at(10)
+        assert event.active_at(14)
+        assert not event.active_at(15)
+        assert not event.active_at(1_000)
+
+    def test_periodic_window_recurs(self):
+        event = FaultEvent("request-drop", at_request=8, duration=4, period=16)
+        for cycle in range(4):
+            base = 8 + 16 * cycle
+            assert event.active_at(base)
+            assert event.active_at(base + 3)
+            assert not event.active_at(base + 4)
+        assert not event.active_at(0)
+
+
+class TestFaultPlan:
+    def test_empty_plan(self):
+        plan = FaultPlan.empty()
+        assert plan.is_empty()
+        assert plan.active_at(0) == ()
+        assert plan.describe() == "(empty plan)"
+
+    def test_events_coerced_to_tuple_and_hashable(self):
+        event = FaultEvent("straggler", at_request=0, duration=2)
+        plan = FaultPlan(events=[event], seed=3)
+        assert isinstance(plan.events, tuple)
+        assert hash(plan) == hash(FaultPlan(events=(event,), seed=3))
+        assert {plan: "cached"}[FaultPlan(events=(event,), seed=3)] == "cached"
+
+    def test_degraded_plan_covers_every_kind_periodically(self):
+        plan = FaultPlan.degraded(seed=1)
+        kinds = {event.kind for event in plan.events}
+        assert kinds == set(FAULT_KINDS)
+        assert all(event.period > 0 for event in plan.events)
+
+    def test_degraded_intensity_scales_severity(self):
+        mild = FaultPlan.degraded(seed=1, intensity=0.5)
+        harsh = FaultPlan.degraded(seed=1, intensity=2.0)
+        assert all(e.severity == 0.5 for e in mild.events)
+        assert all(e.severity == 2.0 for e in harsh.events)
+        with pytest.raises(ValueError):
+            FaultPlan.degraded(intensity=0.0)
+
+    def test_generate_is_seed_deterministic(self):
+        assert FaultPlan.generate(5) == FaultPlan.generate(5)
+        assert FaultPlan.generate(5) != FaultPlan.generate(6)
+
+    def test_generate_respects_horizon_and_kinds(self):
+        plan = FaultPlan.generate(1, horizon=100,
+                                  kinds=("straggler", "gc-storm"),
+                                  events_per_kind=2)
+        assert len(plan.events) == 4
+        assert all(event.at_request < 100 for event in plan.events)
+        assert {e.kind for e in plan.events} == {"straggler", "gc-storm"}
+        with pytest.raises(ValueError):
+            FaultPlan.generate(1, kinds=("bogus",))
+
+    def test_active_at_returns_one_event_per_kind(self):
+        plan = FaultPlan(events=(
+            FaultEvent("straggler", at_request=0, duration=10),
+            FaultEvent("straggler", at_request=5, duration=10),
+            FaultEvent("gc-storm", at_request=5, duration=10),
+        ))
+        active = plan.active_at(6)
+        assert {e.kind for e in active} == {"straggler", "gc-storm"}
+        assert len(active) == 2
+        # The earliest straggler window wins.
+        straggler = next(e for e in active if e.kind == "straggler")
+        assert straggler.at_request == 0
+
+    def test_describe_names_every_event(self):
+        text = FaultPlan.degraded(seed=0).describe()
+        for kind in FAULT_KINDS:
+            assert kind in text

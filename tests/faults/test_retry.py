@@ -1,0 +1,83 @@
+"""Retry policy: backoff schedules are monotone, jittered, and capped."""
+
+import random
+
+import pytest
+
+from repro.faults.retry import RetryPolicy
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=100, cap_delay=50)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(retry_failure_p=1.0)
+
+
+class TestSchedule:
+    def test_monotone_non_decreasing(self):
+        policy = RetryPolicy(max_retries=6)
+        for seed in range(25):
+            delays = policy.schedule(random.Random(seed))
+            assert delays == sorted(delays), seed
+
+    def test_within_jitter_envelope(self):
+        policy = RetryPolicy(base_delay=1_000, multiplier=2.0, jitter=0.25,
+                             max_retries=4, cap_delay=10 ** 9)
+        delays = policy.schedule(random.Random(3))
+        for attempt, delay in enumerate(delays):
+            nominal = 1_000 * 2 ** attempt
+            assert nominal <= delay <= int(nominal * 1.25)
+
+    def test_hard_capped(self):
+        policy = RetryPolicy(base_delay=1_000, multiplier=10.0,
+                             cap_delay=5_000, max_retries=5)
+        delays = policy.schedule(random.Random(1))
+        assert all(delay <= 5_000 for delay in delays)
+        assert delays[-1] == 5_000  # exponent saturates at the cap
+
+    def test_jitter_varies_with_rng(self):
+        policy = RetryPolicy(max_retries=4)
+        schedules = {tuple(policy.schedule(random.Random(seed)))
+                     for seed in range(10)}
+        assert len(schedules) > 1
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(base_delay=100, multiplier=2.0, jitter=0.0,
+                             max_retries=3, cap_delay=10 ** 6)
+        assert policy.schedule(random.Random(0)) == [100, 200, 400]
+
+    def test_deterministic_per_seed(self):
+        policy = RetryPolicy()
+        assert policy.schedule(random.Random(7)) \
+            == policy.schedule(random.Random(7))
+
+
+class TestResolveFailure:
+    def test_bounds_and_accounting(self):
+        policy = RetryPolicy(max_retries=3)
+        for seed in range(30):
+            retries, ok, spent = policy.resolve_failure(random.Random(seed))
+            assert 1 <= retries <= 3 or (retries == 3 and not ok)
+            assert spent > 0
+            max_spend = sum(policy.schedule(random.Random(seed)))
+            assert spent <= max_spend
+
+    def test_always_fails_when_no_retries_allowed(self):
+        policy = RetryPolicy(max_retries=0)
+        retries, ok, spent = policy.resolve_failure(random.Random(1))
+        assert (retries, ok, spent) == (0, False, 0)
+
+    def test_deterministic_per_seed(self):
+        policy = RetryPolicy()
+        assert policy.resolve_failure(random.Random(11)) \
+            == policy.resolve_failure(random.Random(11))

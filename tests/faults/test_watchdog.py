@@ -1,0 +1,43 @@
+"""The runaway-trace watchdog: budget guard and stall detection."""
+
+import pytest
+
+from repro.faults.watchdog import (
+    TRACE_ALLOWANCE,
+    TRACE_SLACK,
+    MAX_SILENT_SERVES,
+    RunawayTraceError,
+    guard_trace,
+    trace_budget,
+)
+
+
+class TestBudget:
+    def test_budget_formula(self):
+        assert trace_budget(10_000) == int(10_000 * TRACE_SLACK) + TRACE_ALLOWANCE
+
+    def test_guard_passes_traces_within_budget(self):
+        assert list(guard_trace(iter(range(100)), 100, "ok")) == list(range(100))
+
+    def test_guard_raises_past_budget(self):
+        with pytest.raises(RunawayTraceError, match="my-workload"):
+            list(guard_trace(iter(range(200)), 100, "my-workload"))
+
+    def test_guard_is_lazy(self):
+        guarded = guard_trace(iter(range(10 ** 9)), 5, "lazy")
+        assert next(guarded) == 0  # no exhaustion attempt up front
+
+
+class TestStallDetection:
+    def test_wedged_serve_loop_raises(self):
+        from repro.apps.synth import ParsecCpuApp
+
+        app = ParsecCpuApp(seed=1)
+        app.serve = lambda rt: None  # a serve that never emits micro-ops
+        with pytest.raises(RunawayTraceError, match="serve"):
+            list(app.trace(0, 1_000))
+
+    def test_stall_threshold_is_generous(self):
+        # The limit exists for wedged loops, not bursty apps: hundreds
+        # of consecutive empty serves are required before it trips.
+        assert MAX_SILENT_SERVES >= 64

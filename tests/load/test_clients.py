@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.faults.metrics import ServiceMetrics
+from repro.faults.retry import RetryPolicy
 from repro.load.faban import FabanDriver
 from repro.load.ycsb import YcsbClient
 
@@ -32,6 +34,47 @@ class TestYcsb:
     def test_invalid_fraction(self):
         with pytest.raises(ValueError):
             YcsbClient(10, read_fraction=1.5)
+
+    def test_ratio_converges_with_more_draws(self):
+        client = YcsbClient(10_000, seed=4)
+        for _ in range(20_000):
+            client.next_op()
+        total = client.reads_issued + client.updates_issued
+        assert abs(client.reads_issued / total - 0.95) < 0.01
+
+    def test_identical_seeds_generate_identical_streams(self):
+        a = YcsbClient(5_000, seed=8)
+        b = YcsbClient(5_000, seed=8)
+        assert [a.next_op() for _ in range(200)] \
+            == [b.next_op() for _ in range(200)]
+
+
+class TestYcsbResilience:
+    def test_observe_classifies_against_the_policy(self):
+        policy = RetryPolicy(hedge_after=100, timeout=200)
+        client = YcsbClient(100, seed=1, retry=policy)
+        client.observe(50)
+        client.observe(150, retries=1)            # hedged, not timed out
+        client.observe(250, ok=False, dropped=True)
+        m = client.metrics
+        assert m.requests == 3
+        assert m.retries == 1
+        assert m.hedges == 2
+        assert m.timeouts == 1
+        assert m.drops == 1
+        assert m.goodput() == pytest.approx(2 / 3)
+
+    def test_shared_metrics_accumulator(self):
+        shared = ServiceMetrics()
+        client = YcsbClient(100, seed=1, metrics=shared)
+        client.observe(10)
+        assert shared.requests == 1
+
+    def test_defaults_are_self_contained(self):
+        client = YcsbClient(100, seed=1)
+        assert isinstance(client.retry, RetryPolicy)
+        client.observe(10)
+        assert client.metrics.requests == 1
 
 
 class TestFaban:
@@ -75,3 +118,21 @@ class TestFaban:
             FabanDriver(2, [])
         with pytest.raises(ValueError):
             FabanDriver(2, [("x", 0.0)])
+
+    def test_observe_classifies_against_the_policy(self):
+        policy = RetryPolicy(hedge_after=100, timeout=200)
+        driver = FabanDriver(2, self.MIX, seed=1, retry=policy)
+        driver.observe(50)
+        driver.observe(300, ok=False, retries=2)
+        m = driver.metrics
+        assert m.requests == 2
+        assert m.retries == 2
+        assert m.hedges == 1
+        assert m.timeouts == 1
+        assert m.goodput() == pytest.approx(0.5)
+
+    def test_shared_metrics_accumulator(self):
+        shared = ServiceMetrics()
+        driver = FabanDriver(2, self.MIX, seed=1, metrics=shared)
+        driver.observe(10)
+        assert shared.requests == 1

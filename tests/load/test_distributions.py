@@ -78,3 +78,12 @@ def test_property_zipf_always_in_range(n, seed):
     gen = ZipfGenerator(n, seed=seed)
     for _ in range(100):
         assert 0 <= gen.next() < n
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(min_value=1, max_value=100_000),
+       seed=st.integers(min_value=0, max_value=100))
+def test_property_scrambled_zipf_stays_in_keyspace(n, seed):
+    gen = ScrambledZipf(n, seed=seed)
+    for _ in range(100):
+        assert 0 <= gen.next() < n
