@@ -11,26 +11,44 @@ Commands:
     ablations                 run the §4-implications ablations
     verify                    check every paper claim against fresh runs
     all                       regenerate every table and figure
+    cache [stats|clear]       inspect or empty the on-disk result store
 
 Options:
 
     --window N    measurement window in micro-ops   (default 80000)
     --warm N      functional-warming replay budget  (default window/3)
     --seed N      deterministic run seed            (default 7)
+    --jobs N      worker processes for figure sweeps (default 1)
+    --no-cache    bypass the in-process and on-disk result caches
     --bars        render figures as ASCII bar charts instead of tables
     --fresh       discard the faults sweep manifest before running
+
+Figure sweeps persist results under ``~/.cache/repro/`` (override with
+``REPRO_CACHE_DIR``), keyed by a full-configuration fingerprint, so
+regenerating a figure is incremental across invocations.
 """
 
 from __future__ import annotations
 
 import sys
+from dataclasses import dataclass
 
 from repro.core.runner import RunConfig
 
 #: Flags that consume the following token as an integer value.
-_VALUE_FLAGS = ("--window", "--warm", "--seed")
+_VALUE_FLAGS = ("--window", "--warm", "--seed", "--jobs")
 #: Boolean switches.
-_SWITCH_FLAGS = ("--bars", "--fresh")
+_SWITCH_FLAGS = ("--bars", "--fresh", "--no-cache")
+
+
+@dataclass
+class CliOptions:
+    """Parsed switches that tune *how* a command runs."""
+
+    bars: bool = False
+    fresh: bool = False
+    jobs: int = 1
+    no_cache: bool = False
 
 
 def _usage_error(message: str) -> None:
@@ -40,14 +58,14 @@ def _usage_error(message: str) -> None:
     raise SystemExit(2)
 
 
-def _parse_config(args: list[str]) -> tuple[list[str], RunConfig, bool, bool]:
-    """Split ``args`` into (commands, config, bars, fresh).
+def _parse_config(args: list[str]) -> tuple[list[str], RunConfig, CliOptions]:
+    """Split ``args`` into (commands, config, options).
 
     Malformed flag values and unknown ``--flags`` are usage errors:
     they print a diagnostic and exit with status 2 rather than leaking
     a raw ``StopIteration``/``ValueError`` traceback.
     """
-    values = {"--window": 80_000, "--warm": None, "--seed": 7}
+    values = {"--window": 80_000, "--warm": None, "--seed": 7, "--jobs": 1}
     switches = {name: False for name in _SWITCH_FLAGS}
     rest: list[str] = []
     it = iter(args)
@@ -66,20 +84,37 @@ def _parse_config(args: list[str]) -> tuple[list[str], RunConfig, bool, bool]:
             _usage_error(f"unknown flag {arg!r}")
         else:
             rest.append(arg)
+    if values["--jobs"] < 1:
+        _usage_error(f"--jobs must be >= 1, got {values['--jobs']}")
     window = values["--window"]
     warm = values["--warm"]
     config = RunConfig(window_uops=window,
                        warm_uops=warm if warm is not None else window // 3,
                        seed=values["--seed"])
-    return rest, config, switches["--bars"], switches["--fresh"]
+    options = CliOptions(bars=switches["--bars"], fresh=switches["--fresh"],
+                         jobs=values["--jobs"],
+                         no_cache=switches["--no-cache"])
+    return rest, config, options
 
 
-def _run_figure(name: str, config: RunConfig, bars: bool = False) -> None:
+def _build_engine(options: CliOptions):
+    """The sweep engine the figure commands share: parallel when asked,
+    backed by the persistent store unless ``--no-cache``."""
+    from repro.core.store import ResultStore
+    from repro.core.sweep import SweepEngine
+
+    store = None if options.no_cache else ResultStore()
+    return SweepEngine(jobs=options.jobs, use_cache=not options.no_cache,
+                       store=store)
+
+
+def _run_figure(name: str, config: RunConfig, options: CliOptions,
+                engine=None) -> None:
     from repro.core.experiments import ALL_EXPERIMENTS
 
     module = ALL_EXPERIMENTS[name]
-    table = module.run(config)
-    if bars and name != "table1":
+    table = module.run(config, engine=engine or _build_engine(options))
+    if options.bars and name != "table1":
         label = table.columns[0]
         numeric = [c for c in table.columns[1:]
                    if all(isinstance(r.get(c), (int, float))
@@ -97,7 +132,10 @@ def _run_workload_command(args: list[str], config: RunConfig) -> None:
     if not args:
         print("usage: python -m repro run <workload> [--window N]")
         raise SystemExit(2)
-    run = run_workload(args[0], config)
+    try:
+        run = run_workload(args[0], config)
+    except KeyError as exc:
+        _usage_error(str(exc.args[0]))
     r = run.result
     b = compute_breakdown(r)
     print(f"{args[0]}: IPC={analysis.ipc(r):.2f} MLP={r.mlp:.2f} "
@@ -106,10 +144,32 @@ def _run_workload_command(args: list[str], config: RunConfig) -> None:
           f"bw={run.bandwidth_utilization():.1%}")
 
 
+def _cache_command(args: list[str]) -> int:
+    from repro.core.store import ResultStore
+
+    store = ResultStore()
+    action = args[0] if args else "stats"
+    if action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached result(s) from {store.directory}")
+        return 0
+    if action != "stats":
+        _usage_error(f"unknown cache action {action!r}; "
+                     "expected 'stats' or 'clear'")
+    stats = store.stats()
+    print(f"store:   {stats['path']}")
+    print(f"entries: {stats['entries']}")
+    print(f"bytes:   {stats['bytes']}")
+    if stats["stale_versions"]:
+        print(f"stale:   {', '.join(stats['stale_versions'])} "
+              "(older schema versions; safe to delete)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point: dispatch a CLI command; returns the exit status."""
     argv = list(sys.argv[1:] if argv is None else argv)
-    args, config, bars, fresh = _parse_config(argv)
+    args, config, options = _parse_config(argv)
     if not args or args[0] in ("-h", "--help", "help"):
         print(__doc__)
         return 0
@@ -126,14 +186,26 @@ def main(argv: list[str] | None = None) -> int:
     if command == "run":
         _run_workload_command(args[1:], config)
         return 0
+    if command == "cache":
+        return _cache_command(args[1:])
     if command == "trace":
         from repro.tools import dump_trace
 
         if len(args) < 2:
             print("usage: python -m repro trace <workload> [N]")
             return 2
-        count = int(args[2]) if len(args) > 2 else 200
-        text, _summary = dump_trace(args[1], count)
+        count = 200
+        if len(args) > 2:
+            try:
+                count = int(args[2])
+            except ValueError:
+                _usage_error(
+                    f"trace count must be an integer, got {args[2]!r}"
+                )
+        try:
+            text, _summary = dump_trace(args[1], count)
+        except KeyError as exc:
+            _usage_error(str(exc.args[0]))
         try:
             print(text, end="")
         except BrokenPipeError:
@@ -145,7 +217,7 @@ def main(argv: list[str] | None = None) -> int:
         workloads = args[1:] or None
         try:
             table = figure8_faults.run(config, workloads=workloads,
-                                       fresh=fresh)
+                                       fresh=options.fresh)
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
@@ -168,14 +240,15 @@ def main(argv: list[str] | None = None) -> int:
     if command == "all":
         from repro.core.experiments import ALL_EXPERIMENTS
 
+        engine = _build_engine(options)
         for name in ALL_EXPERIMENTS:
-            _run_figure(name, config, bars)
+            _run_figure(name, config, options, engine=engine)
             print()
         return 0
     from repro.core.experiments import ALL_EXPERIMENTS
 
     if command in ALL_EXPERIMENTS:
-        _run_figure(command, config, bars)
+        _run_figure(command, config, options)
         return 0
     print(f"unknown command {command!r}; try `python -m repro help`")
     return 2

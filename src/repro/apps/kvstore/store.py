@@ -11,6 +11,7 @@ the real pointer and search dependences of an LSM read.
 from __future__ import annotations
 
 from repro.machine.address_space import AddressSpace
+from repro.machine.hashing import stable_hash
 from repro.machine.runtime import Runtime
 from repro.machine.structures import SimArray, SimHashMap
 
@@ -76,12 +77,13 @@ class SSTable:
         """Bloom-filter check: k dependent hash+probe pairs."""
         token = rt.alu(n=2)  # hash the key
         for i in range(self.BLOOM_HASHES):
-            slot = hash((key, self.table_id, i)) % self.bloom.count
+            slot = stable_hash(key, self.table_id, i) % self.bloom.count
             token = rt.load(self.bloom.addr(slot), (token,))
         if key in self._rank:
             return True
         # A real bloom filter sometimes says yes for absent keys.
-        return hash((key, self.table_id)) % 1000 < self.false_positive_permille
+        return stable_hash(key, self.table_id) % 1000 \
+            < self.false_positive_permille
 
     def find(self, rt: Runtime, key: int) -> int | None:
         """Binary-search the sparse index, then scan the covered run."""

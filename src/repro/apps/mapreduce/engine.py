@@ -18,6 +18,8 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterable, Sequence
 
+from repro.machine.hashing import stable_hash
+
 MapFn = Callable[[object], Iterable[tuple[Hashable, object]]]
 ReduceFn = Callable[[Hashable, list[object]], object]
 
@@ -80,7 +82,7 @@ class MapReduceEngine:
             if combine_fn is not None and len(values) > 1:
                 values = [combine_fn(key, values)]
                 self.combined_records += 1
-            partition = partitions[hash(key) % self.num_reducers]
+            partition = partitions[stable_hash(key) % self.num_reducers]
             for value in values:
                 partition.pairs.append((key, value))
         for partition in partitions:

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.apps.oltp.btree import BPlusTree
 from repro.machine.address_space import AddressSpace
+from repro.machine.hashing import stable_hash
 from repro.machine.runtime import Runtime
 from repro.machine.structures import SimArray
 
@@ -88,9 +89,9 @@ class LockManager:
         self.acquisitions = 0
         self.held: list[int] = []
 
-    def acquire(self, rt: Runtime, resource: int) -> None:
+    def acquire(self, rt: Runtime, resource: object) -> None:
         """Lock acquisition: atomic read-modify-write of the lock word."""
-        slot = hash(resource) % self.partitions
+        slot = stable_hash(resource) % self.partitions
         token = self.lock_words.read(rt, slot)
         rt.alu((token,), n=2)  # compare-and-swap
         self.lock_words.write(rt, slot, (token,))

@@ -96,7 +96,7 @@ class TpccDatabase:
         rng = self.rng
         w = rng.randrange(self.warehouses)
         d = w * 10 + rng.randrange(10)
-        e.locks.acquire(rt, ("district", d).__hash__())
+        e.locks.acquire(rt, ("district", d))
         self.warehouse.read(w, rt, lines=2)
         self.district.read(d, rt, lines=2, dep=self.warehouse.last_token)
         self.district.update(d, rt)  # next order id: the hot row
@@ -112,7 +112,7 @@ class TpccDatabase:
             item = rng.randrange(self.items)
             self.item.read(item, rt, lines=1, dep=chain)
             stock_key = self._stock_key(w)
-            e.locks.acquire(rt, ("stock", stock_key).__hash__())
+            e.locks.acquire(rt, ("stock", stock_key))
             self.stock.read(stock_key, rt, lines=1, dep=self.item.last_token)
             self.stock.update(stock_key, rt, dep=self.stock.last_token)
             self.order_line.insert(order_id * 16 + line, rt, dep=self.stock.last_token)
@@ -151,8 +151,8 @@ class TpccDatabase:
         rng = self.rng
         w = rng.randrange(self.warehouses)
         d = w * 10 + rng.randrange(10)
-        e.locks.acquire(rt, ("warehouse", w).__hash__())
-        e.locks.acquire(rt, ("district", d).__hash__())
+        e.locks.acquire(rt, ("warehouse", w))
+        e.locks.acquire(rt, ("district", d))
         self.warehouse.update(w, rt)  # the hottest row in TPC-C
         self.district.update(d, rt, dep=self.warehouse.last_token)
         if rng.random() < 0.6:
@@ -185,7 +185,7 @@ class TpccDatabase:
             self.new_order_queue.index.delete(order_id, rt)
         for d_offset in range(10):
             d = w * 10 + d_offset
-            e.locks.acquire(rt, ("district", d).__hash__())
+            e.locks.acquire(rt, ("district", d))
             self.district.update(d, rt)
             start = max(0, self._next_order_id - self.rng.randrange(1, 40))
             self.orders.index.range_scan(start, 1, rt)
@@ -247,7 +247,7 @@ class TpceDatabase:
         rt.alu(n=180, chain=False)
         trade_id = self._next_trade
         self._next_trade += 1
-        e.locks.acquire(rt, ("trade", trade_id).__hash__())
+        e.locks.acquire(rt, ("trade", trade_id))
         self.trade.insert(trade_id, rt)
         e.log_append(rt, 192)
         kernel.log_write(rt, 256)
@@ -260,7 +260,7 @@ class TpceDatabase:
         trade_id = rng.randrange(max(1, self._next_trade or 1))
         self.trade.read(trade_id, rt, lines=3)
         s = rng.randrange(self.securities)
-        e.locks.acquire(rt, ("security", s).__hash__())
+        e.locks.acquire(rt, ("security", s))
         self.security.update(s, rt, dep=self.trade.last_token)
         self.holding.read(rng.randrange(60_000), rt, lines=2,
                           dep=self.security.last_token)
@@ -286,7 +286,7 @@ class TpceDatabase:
         e = self.engine
         for _ in range(8):
             s = self.rng.randrange(self.securities)
-            e.locks.acquire(rt, ("security", s).__hash__())
+            e.locks.acquire(rt, ("security", s))
             self.security.update(s, rt)
             rt.alu(n=25, chain=False)
         e.log_append(rt, 128)

@@ -133,7 +133,7 @@ class WebBackendApp(ServerApp):
         rt.alu(n=25, chain=False)
 
     def _q_insert_event(self, rt: Runtime) -> None:
-        self.engine.locks.acquire(rt, ("events", self._next_event).__hash__())
+        self.engine.locks.acquire(rt, ("events", self._next_event))
         self.events.insert(self._next_event % self.events.capacity, rt)
         self._next_event += 1
         self.engine.log_append(rt, 192)
@@ -141,7 +141,7 @@ class WebBackendApp(ServerApp):
         self.engine.locks.release_all(rt)
 
     def _q_insert_comment(self, rt: Runtime) -> None:
-        self.engine.locks.acquire(rt, ("comments", self._next_comment).__hash__())
+        self.engine.locks.acquire(rt, ("comments", self._next_comment))
         self.comments.insert(self._next_comment % self.comments.capacity, rt)
         self._next_comment += 1
         self.engine.log_append(rt, 128)

@@ -15,6 +15,7 @@ from enum import IntEnum
 
 from repro.machine.address_space import AddressSpace
 from repro.machine.codelayout import Function
+from repro.machine.hashing import stable_hash
 from repro.machine.runtime import Runtime
 from repro.machine.structures import SimArray
 
@@ -154,7 +155,7 @@ class PhpInterpreter:
                 stack.append(operand)  # handle for the result set
             elif op == Opcode.CALL_FN:
                 value = stack.pop() if stack else 0
-                stack.append((hash((operand, value)) & 0xFFFF))
+                stack.append(stable_hash(operand, value) & 0xFFFF)
                 if traced:
                     rt.alu(n=6, chain=False)
             elif op == Opcode.RET:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.uarch.core import CoreResult
+from repro.uarch.dram import per_core_utilization
 
 
 def ipc(result: CoreResult) -> float:
@@ -59,11 +60,9 @@ def bandwidth_utilization(result: CoreResult, freq_hz: float,
                           peak_bytes_per_s: float, active_cores: int = 4,
                           os_only: bool = False) -> float:
     """Per-core off-chip bandwidth utilization (Figure 7)."""
-    if not result.cycles:
-        return 0.0
-    seconds = result.cycles / freq_hz
     nbytes = result.offchip_bytes_os if os_only else result.offchip_bytes
-    return (nbytes / seconds) / (peak_bytes_per_s / active_cores)
+    return per_core_utilization(nbytes, result.cycles, freq_hz,
+                                peak_bytes_per_s, active_cores)
 
 
 def branch_mispredict_rate(result: CoreResult) -> float:

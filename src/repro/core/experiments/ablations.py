@@ -23,7 +23,12 @@ from dataclasses import replace
 
 from repro.core import analysis
 from repro.core.report import ExperimentTable
-from repro.core.runner import RunConfig, run_workload, run_workload_smt
+from repro.core.runner import (
+    RunConfig,
+    guarded_trace,
+    run_workload,
+    run_workload_smt,
+)
 from repro.core.workloads import build_app
 from repro.uarch.core import Core
 from repro.uarch.hierarchy import MemoryHierarchy
@@ -53,7 +58,8 @@ def narrow_cores(config: RunConfig | None = None,
             hierarchy = MemoryHierarchy(narrow_params, core_id=tid)
             app.warm(hierarchy, trace_uops=config.warm_uops // 2)
             core = Core(narrow_params, hierarchy, core_id=tid)
-            result = core.run([app.trace(tid, config.window_uops // 2)])
+            result = core.run([guarded_trace(app, tid, config.window_uops // 2,
+                                             f"{name}[narrow:{tid}]")])
             aggregate += analysis.ipc(result)
         table.add_row(
             Workload=name,
@@ -196,7 +202,8 @@ def core_aggressiveness(config: RunConfig | None = None,
         hierarchy = MemoryHierarchy(config.params)
         app.warm(hierarchy, trace_uops=config.warm_uops)
         inorder = InOrderCore(config.params, hierarchy)
-        in_res = inorder.run([app.trace(0, config.window_uops // 2)])
+        in_res = inorder.run([guarded_trace(app, 0, config.window_uops // 2,
+                                            f"{name}[in-order]")])
         in_ipc = analysis.ipc(in_res)
 
         modest_ipc = analysis.ipc(

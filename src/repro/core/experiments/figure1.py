@@ -11,13 +11,22 @@ from __future__ import annotations
 
 from repro.core.breakdown import compute_breakdown
 from repro.core.report import ExperimentTable
-from repro.core.runner import RunConfig, metric_mean, run_workload_members
+from repro.core.runner import RunConfig
+from repro.core.sweep import Cell, SweepEngine
 from repro.core.workloads import ALL_WORKLOADS
 
 
-def run(config: RunConfig | None = None) -> ExperimentTable:
+def cells(config: RunConfig) -> list[Cell]:
+    """The declarative work list: one member-group cell per workload."""
+    return [Cell("members", spec.name, config) for spec in ALL_WORKLOADS]
+
+
+def run(config: RunConfig | None = None,
+        engine: SweepEngine | None = None) -> ExperimentTable:
     """Measure every workload and build the Figure 1 breakdown table."""
     config = config or RunConfig()
+    engine = engine or SweepEngine()
+    results = engine.run(cells(config))
     table = ExperimentTable(
         title=(
             "Figure 1. Execution-time breakdown and memory cycles of "
@@ -33,8 +42,7 @@ def run(config: RunConfig | None = None) -> ExperimentTable:
             "Memory",
         ],
     )
-    for spec in ALL_WORKLOADS:
-        runs = run_workload_members(spec.name, config)
+    for spec, runs in zip(ALL_WORKLOADS, results):
         breakdowns = [compute_breakdown(r.result) for r in runs]
         n = len(breakdowns)
         table.add_row(

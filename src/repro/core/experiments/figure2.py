@@ -10,13 +10,22 @@ from __future__ import annotations
 
 from repro.core import analysis
 from repro.core.report import ExperimentTable
-from repro.core.runner import RunConfig, metric_mean, run_workload_members
+from repro.core.runner import RunConfig, metric_mean
+from repro.core.sweep import Cell, SweepEngine
 from repro.core.workloads import ALL_WORKLOADS
 
 
-def run(config: RunConfig | None = None) -> ExperimentTable:
+def cells(config: RunConfig) -> list[Cell]:
+    """The declarative work list: one member-group cell per workload."""
+    return [Cell("members", spec.name, config) for spec in ALL_WORKLOADS]
+
+
+def run(config: RunConfig | None = None,
+        engine: SweepEngine | None = None) -> ExperimentTable:
     """Measure every workload and build the Figure 2 MPKI table."""
     config = config or RunConfig()
+    engine = engine or SweepEngine()
+    results = engine.run(cells(config))
     table = ExperimentTable(
         title=(
             "Figure 2. L1-I and L2 instruction cache miss rates "
@@ -31,8 +40,7 @@ def run(config: RunConfig | None = None) -> ExperimentTable:
             "L2 (OS)",
         ],
     )
-    for spec in ALL_WORKLOADS:
-        runs = run_workload_members(spec.name, config)
+    for spec, runs in zip(ALL_WORKLOADS, results):
         l1i = metric_mean(runs, analysis.instruction_mpki)
         l1i_os = metric_mean(
             runs, lambda r: analysis.instruction_mpki(r, os_only=True)

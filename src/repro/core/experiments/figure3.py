@@ -11,18 +11,26 @@ from __future__ import annotations
 
 from repro.core import analysis
 from repro.core.report import ExperimentTable
-from repro.core.runner import (
-    RunConfig,
-    metric_mean,
-    metric_range,
-    run_workload_members,
-)
+from repro.core.runner import RunConfig, metric_mean, metric_range
+from repro.core.sweep import Cell, SweepEngine
 from repro.core.workloads import ALL_WORKLOADS
 
 
-def run(config: RunConfig | None = None) -> ExperimentTable:
+def cells(config: RunConfig) -> list[Cell]:
+    """Per workload: one baseline member-group cell, one SMT cell."""
+    work = []
+    for spec in ALL_WORKLOADS:
+        work.append(Cell("members", spec.name, config))
+        work.append(Cell("smt-members", spec.name, config))
+    return work
+
+
+def run(config: RunConfig | None = None,
+        engine: SweepEngine | None = None) -> ExperimentTable:
     """Run baseline and SMT configurations; build the Figure 3 table."""
     config = config or RunConfig()
+    engine = engine or SweepEngine()
+    results = engine.run(cells(config))
     table = ExperimentTable(
         title=(
             "Figure 3. Application IPC (max 4) and MLP, for systems "
@@ -41,9 +49,9 @@ def run(config: RunConfig | None = None) -> ExperimentTable:
             "MLP max",
         ],
     )
-    for spec in ALL_WORKLOADS:
-        base_runs = run_workload_members(spec.name, config)
-        smt_runs = run_workload_members(spec.name, config, smt=True)
+    for index, spec in enumerate(ALL_WORKLOADS):
+        base_runs = results[2 * index]
+        smt_runs = results[2 * index + 1]
         ipc_lo, ipc_hi = metric_range(base_runs, analysis.application_ipc)
         mlp_lo, mlp_hi = metric_range(base_runs, analysis.mlp)
         table.add_row(

@@ -18,28 +18,52 @@ from dataclasses import replace
 
 from repro.core import analysis
 from repro.core.report import ExperimentTable
-from repro.core.runner import RunConfig, run_workload
+from repro.core.runner import RunConfig, WorkloadRun
+from repro.core.sweep import Cell, SweepEngine
 from repro.core.workloads import SCALE_OUT, SERVER_GROUP
 
 DEFAULT_SIZES_MB = (4, 5, 6, 7, 8, 9, 10, 11)
 
 
-def _user_ipc(name: str, config: RunConfig, llc_mb: float | None) -> float:
+def _sized(config: RunConfig, llc_mb: float | None) -> RunConfig:
     if llc_mb is None:
-        run = run_workload(name, config)
-    else:
-        params = config.params.with_llc_mb(llc_mb)
-        run = run_workload(name, replace(config, params=params))
-    return analysis.application_ipc(run.result)
+        return config
+    return replace(config, params=config.params.with_llc_mb(llc_mb))
+
+
+def cells(config: RunConfig,
+          sizes_mb: tuple[int, ...] = DEFAULT_SIZES_MB,
+          scale_out_names: list[str] | None = None) -> list[Cell]:
+    """The flat (LLC size x workload) grid, baseline (None) first.
+
+    Every cell is an independent single-core run, so the engine can
+    fan the whole sweep across worker processes.
+    """
+    scale_out = scale_out_names or [spec.name for spec in SCALE_OUT]
+    names = scale_out + SERVER_GROUP + ["specint-mcf"]
+    return [
+        Cell("single", name, _sized(config, size))
+        for size in (None, *sizes_mb)
+        for name in names
+    ]
+
+
+def _mean_ipc(runs: list[WorkloadRun]) -> float:
+    values = [analysis.application_ipc(run.result) for run in runs]
+    return sum(values) / len(values)
 
 
 def run(config: RunConfig | None = None,
         sizes_mb: tuple[int, ...] = DEFAULT_SIZES_MB,
-        scale_out_names: list[str] | None = None) -> ExperimentTable:
+        scale_out_names: list[str] | None = None,
+        engine: SweepEngine | None = None) -> ExperimentTable:
     """Sweep the LLC capacity and build the Figure 4 sensitivity curves."""
     config = config or RunConfig()
+    engine = engine or SweepEngine()
     scale_out = scale_out_names or [spec.name for spec in SCALE_OUT]
-    server = SERVER_GROUP
+    n_scale_out, n_server = len(scale_out), len(SERVER_GROUP)
+    per_size = n_scale_out + n_server + 1
+    runs = engine.run_flat(cells(config, sizes_mb, scale_out_names))
     table = ExperimentTable(
         title=(
             "Figure 4. Performance sensitivity to LLC capacity "
@@ -47,25 +71,27 @@ def run(config: RunConfig | None = None,
         ),
         columns=["Cache size (MB)", "Scale-out", "Server", "SPECint (mcf)"],
     )
-    baselines = {
-        "scale-out": _mean(scale_out, config, None),
-        "server": _mean(server, config, None),
-        "mcf": _user_ipc("specint-mcf", config, None),
-    }
-    for size in sizes_mb:
+
+    def slice_means(offset: int) -> tuple[float, float, float]:
+        block = runs[offset:offset + per_size]
+        return (
+            _mean_ipc(block[:n_scale_out]),
+            _mean_ipc(block[n_scale_out:n_scale_out + n_server]),
+            analysis.application_ipc(block[-1].result),
+        )
+
+    base_scale_out, base_server, base_mcf = slice_means(0)
+    for row_index, size in enumerate(sizes_mb):
+        scale_out_ipc, server_ipc, mcf_ipc = slice_means(
+            (row_index + 1) * per_size
+        )
         table.add_row(
             **{
                 "Cache size (MB)": size,
-                "Scale-out": _mean(scale_out, config, size) / baselines["scale-out"],
-                "Server": _mean(server, config, size) / baselines["server"],
-                "SPECint (mcf)": _user_ipc("specint-mcf", config, size)
-                / baselines["mcf"],
+                "Scale-out": scale_out_ipc / base_scale_out,
+                "Server": server_ipc / base_server,
+                "SPECint (mcf)": mcf_ipc / base_mcf,
             }
         )
     table.notes.append("normalized to a baseline system with a 12MB LLC")
     return table
-
-
-def _mean(names: list[str], config: RunConfig, llc_mb: float | None) -> float:
-    values = [_user_ipc(name, config, llc_mb) for name in names]
-    return sum(values) / len(values)

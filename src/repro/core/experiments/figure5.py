@@ -16,23 +16,37 @@ from dataclasses import replace
 
 from repro.core import analysis
 from repro.core.report import ExperimentTable
-from repro.core.runner import RunConfig, metric_mean, run_workload_members
+from repro.core.runner import RunConfig, metric_mean
+from repro.core.sweep import Cell, SweepEngine
 from repro.core.workloads import ALL_WORKLOADS
-from repro.uarch.params import PrefetcherParams
 
 
-def _hit_ratio(name: str, config: RunConfig, prefetch: PrefetcherParams) -> float:
-    cfg = replace(config, params=config.params.with_prefetchers(prefetch))
-    runs = run_workload_members(name, cfg)
-    return metric_mean(runs, analysis.l2_hit_ratio)
+def _variants(config: RunConfig) -> list[RunConfig]:
+    """Baseline, adjacent-line disabled, HW prefetcher disabled."""
+    base_pf = config.params.prefetch
+    return [
+        replace(config, params=config.params.with_prefetchers(pf))
+        for pf in (base_pf,
+                   replace(base_pf, adjacent_line=False),
+                   replace(base_pf, hw_prefetcher=False))
+    ]
 
 
-def run(config: RunConfig | None = None) -> ExperimentTable:
+def cells(config: RunConfig) -> list[Cell]:
+    """Three prefetcher variants per workload, workload-major order."""
+    return [
+        Cell("members", spec.name, variant)
+        for spec in ALL_WORKLOADS
+        for variant in _variants(config)
+    ]
+
+
+def run(config: RunConfig | None = None,
+        engine: SweepEngine | None = None) -> ExperimentTable:
     """Toggle prefetchers and build the Figure 5 hit-ratio table."""
     config = config or RunConfig()
-    base_pf = config.params.prefetch
-    no_adjacent = replace(base_pf, adjacent_line=False)
-    no_hw = replace(base_pf, hw_prefetcher=False)
+    engine = engine or SweepEngine()
+    results = engine.run(cells(config))
     table = ExperimentTable(
         title=(
             "Figure 5. L2 hit ratios of a system with enabled and "
@@ -46,14 +60,18 @@ def run(config: RunConfig | None = None) -> ExperimentTable:
             "HW prefetcher (disabled)",
         ],
     )
-    for spec in ALL_WORKLOADS:
+    for index, spec in enumerate(ALL_WORKLOADS):
+        base, no_adjacent, no_hw = (
+            metric_mean(results[3 * index + offset], analysis.l2_hit_ratio)
+            for offset in range(3)
+        )
         table.add_row(
             Workload=spec.display_name,
             Group=spec.group,
             **{
-                "Baseline (all enabled)": _hit_ratio(spec.name, config, base_pf),
-                "Adjacent-line (disabled)": _hit_ratio(spec.name, config, no_adjacent),
-                "HW prefetcher (disabled)": _hit_ratio(spec.name, config, no_hw),
+                "Baseline (all enabled)": base,
+                "Adjacent-line (disabled)": no_adjacent,
+                "HW prefetcher (disabled)": no_hw,
             },
         )
     return table

@@ -13,14 +13,33 @@ from __future__ import annotations
 
 from repro.core import analysis
 from repro.core.report import ExperimentTable
-from repro.core.runner import RunConfig, run_workload_chip
+from repro.core.runner import RunConfig
+from repro.core.sweep import Cell, SweepEngine
 from repro.core.workloads import ALL_WORKLOADS
 
 
+def cells(config: RunConfig, num_cores: int = 4,
+          segments: int = 8) -> list[Cell]:
+    """One multi-core chip cell per workload.
+
+    Multithreaded servers run as one process across the cores;
+    single-process-per-core workloads (SAT Solver, PARSEC, SPECint)
+    run independent instances — the runner arranges both layouts.
+    """
+    return [
+        Cell("chip", spec.name, config, num_cores=num_cores,
+             segments=segments)
+        for spec in ALL_WORKLOADS
+    ]
+
+
 def run(config: RunConfig | None = None, num_cores: int = 4,
-        segments: int = 8) -> ExperimentTable:
+        segments: int = 8,
+        engine: SweepEngine | None = None) -> ExperimentTable:
     """Run the two-socket chip setup; build the Figure 6 sharing table."""
     config = config or RunConfig()
+    engine = engine or SweepEngine()
+    results = engine.run_flat(cells(config, num_cores, segments))
     table = ExperimentTable(
         title=(
             "Figure 6. Percentage of LLC data references accessing "
@@ -28,14 +47,8 @@ def run(config: RunConfig | None = None, num_cores: int = 4,
         ),
         columns=["Workload", "Group", "Application", "OS"],
     )
-    for spec in ALL_WORKLOADS:
-        # Multithreaded servers run as one process across the cores;
-        # single-process-per-core workloads (SAT Solver, PARSEC, SPECint)
-        # run independent instances — the runner arranges both layouts.
-        chip_run = run_workload_chip(
-            spec.name, config, num_cores=num_cores, segments=segments
-        )
-        summed = chip_run.summed
+    for spec, chip_run in zip(ALL_WORKLOADS, results):
+        summed = chip_run.result
         total = analysis.remote_dirty_fraction(summed)
         os_part = analysis.remote_dirty_fraction(summed, os_only=True)
         table.add_row(

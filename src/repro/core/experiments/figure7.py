@@ -10,13 +10,22 @@ MLP cannot generate enough concurrent off-chip accesses (§4.4).
 from __future__ import annotations
 
 from repro.core.report import ExperimentTable
-from repro.core.runner import RunConfig, run_workload_members
+from repro.core.runner import RunConfig
+from repro.core.sweep import Cell, SweepEngine
 from repro.core.workloads import ALL_WORKLOADS
 
 
-def run(config: RunConfig | None = None, active_cores: int = 4) -> ExperimentTable:
+def cells(config: RunConfig) -> list[Cell]:
+    """The declarative work list: one member-group cell per workload."""
+    return [Cell("members", spec.name, config) for spec in ALL_WORKLOADS]
+
+
+def run(config: RunConfig | None = None, active_cores: int = 4,
+        engine: SweepEngine | None = None) -> ExperimentTable:
     """Build the Figure 7 bandwidth-utilization table."""
     config = config or RunConfig()
+    engine = engine or SweepEngine()
+    results = engine.run(cells(config))
     table = ExperimentTable(
         title=(
             "Figure 7. Average off-chip memory bandwidth utilization as "
@@ -24,8 +33,7 @@ def run(config: RunConfig | None = None, active_cores: int = 4) -> ExperimentTab
         ),
         columns=["Workload", "Group", "Application", "OS"],
     )
-    for spec in ALL_WORKLOADS:
-        runs = run_workload_members(spec.name, config)
+    for spec, runs in zip(ALL_WORKLOADS, results):
         totals = [run.bandwidth_utilization(active_cores) for run in runs]
         os_fracs = [run.os_bandwidth_fraction() for run in runs]
         total = sum(totals) / len(totals)

@@ -20,10 +20,12 @@ where it stopped and re-invocations skip completed cells.
 from __future__ import annotations
 
 import pathlib
+from dataclasses import replace
 
 from repro.core import analysis
 from repro.core.report import ExperimentTable
 from repro.core.runner import RunConfig, run_workload
+from repro.core.sweep import config_fingerprint
 from repro.core.workloads import REGISTRY
 from repro.faults.manifest import SweepManifest
 from repro.faults.plan import FaultPlan
@@ -99,8 +101,13 @@ def run(config: RunConfig | None = None,
             known = ", ".join(sorted(REGISTRY))
             raise KeyError(f"unknown workload {name!r}; known: {known}")
     plan = degraded_plan(seed=config.seed, intensity=intensity)
+    degraded_config = replace(config, fault_plan=plan)
     manifest = None
     if manifest_path is not None:
+        # Key the manifest on the *full* configuration fingerprint (not
+        # just window/seed): a sweep rerun with different machine
+        # parameters must discard the stale manifest, never mix in its
+        # cells.
         meta = {
             "experiment": "figure8",
             "window_uops": config.window_uops,
@@ -108,6 +115,9 @@ def run(config: RunConfig | None = None,
             "seed": config.seed,
             "intensity": intensity,
             "plan_events": len(plan.events),
+            "healthy_config": config_fingerprint("single", "figure8", config),
+            "degraded_config": config_fingerprint("single", "figure8",
+                                                  degraded_config),
         }
         manifest = SweepManifest(manifest_path, meta)
         if fresh:
@@ -119,20 +129,12 @@ def run(config: RunConfig | None = None,
         ),
         columns=list(_COLUMNS),
     )
-    modes = [("healthy", None), ("degraded", plan)]
+    modes = [("healthy", config), ("degraded", degraded_config)]
     for name in names:
-        for mode, mode_plan in modes:
+        for mode, cell_config in modes:
             key = f"{name}|{mode}"
             payload = manifest.get(key) if manifest is not None else None
             if payload is None:
-                cell_config = (config if mode_plan is None
-                               else RunConfig(
-                                   params=config.params,
-                                   window_uops=config.window_uops,
-                                   warm_uops=config.warm_uops,
-                                   seed=config.seed,
-                                   fault_plan=mode_plan,
-                               ))
                 payload = _measure_cell(name, cell_config)
                 if manifest is not None:
                     manifest.put(key, payload)

@@ -13,8 +13,12 @@ from repro.uarch.cache import Cache
 from repro.uarch.params import MachineParams
 
 
-def run(config: RunConfig | None = None) -> ExperimentTable:
-    """Render Table 1 and self-check the simulated geometries."""
+def run(config: RunConfig | None = None, engine=None) -> ExperimentTable:
+    """Render Table 1 and self-check the simulated geometries.
+
+    ``engine`` is accepted for uniform dispatch but unused — the table
+    derives from the parameters alone, no measurement cells to sweep.
+    """
     params = (config or RunConfig()).params
     table = ExperimentTable(
         title="Table 1. Architectural parameters.",

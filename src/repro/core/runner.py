@@ -22,12 +22,14 @@ from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 
 from repro.apps.base import ServerApp
+from repro.core.sweep import config_fingerprint
 from repro.core.workloads import build_app
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.faults.watchdog import RunawayTraceError, guard_trace, trace_budget
 from repro.uarch.chip import Chip, ChipResult
 from repro.uarch.core import Core, CoreResult
+from repro.uarch.dram import per_core_utilization
 from repro.uarch.hierarchy import MemoryHierarchy
 from repro.uarch.params import MachineParams
 
@@ -40,6 +42,7 @@ __all__ = [
     "run_workload_smt",
     "run_workload_members",
     "run_workload_chip",
+    "guarded_trace",
     "metric_mean",
     "metric_range",
     "clear_cache",
@@ -76,12 +79,17 @@ class RunConfig:
 
 @dataclass
 class WorkloadRun:
-    """A finished measurement."""
+    """A finished measurement.
+
+    ``app`` is the live server instance for in-process runs, and
+    ``None`` for runs restored from the on-disk store or a worker
+    process — every figure consumes only ``config`` and ``result``.
+    """
 
     name: str
     config: RunConfig
     result: CoreResult
-    app: ServerApp
+    app: ServerApp | None
 
     @property
     def freq_hz(self) -> float:
@@ -89,11 +97,10 @@ class WorkloadRun:
 
     def bandwidth_utilization(self, active_cores: int = 4) -> float:
         r = self.result
-        if not r.cycles:
-            return 0.0
-        seconds = r.cycles / self.freq_hz
-        per_core_peak = self.config.params.peak_bandwidth_bytes_per_s / active_cores
-        return (r.offchip_bytes / seconds) / per_core_peak
+        return per_core_utilization(
+            r.offchip_bytes, r.cycles, self.freq_hz,
+            self.config.params.peak_bandwidth_bytes_per_s, active_cores,
+        )
 
     def os_bandwidth_fraction(self) -> float:
         r = self.result
@@ -103,7 +110,7 @@ class WorkloadRun:
 #: Bounded measurement cache: least-recently-used entries are evicted
 #: once the cap is reached, so long sessions (or embedding processes)
 #: cannot grow the cache without bound.
-_CACHE: OrderedDict[tuple, WorkloadRun] = OrderedDict()
+_CACHE: OrderedDict[str, WorkloadRun] = OrderedDict()
 _CACHE_CAPACITY = 128
 
 
@@ -112,39 +119,27 @@ def clear_cache() -> None:
     _CACHE.clear()
 
 
-def _cache_get(key: tuple):
+def _cache_get(key: str):
     hit = _CACHE.get(key)
     if hit is not None:
         _CACHE.move_to_end(key)
     return hit
 
 
-def _cache_put(key: tuple, run) -> None:
+def _cache_put(key: str, run) -> None:
     _CACHE[key] = run
     _CACHE.move_to_end(key)
     while len(_CACHE) > _CACHE_CAPACITY:
         _CACHE.popitem(last=False)
 
 
-def _cache_key(kind: str, name: str, config: RunConfig) -> tuple:
-    p = config.params
-    return (
-        kind,
-        name,
-        config.window_uops,
-        config.warm_uops,
-        config.seed,
-        config.fault_plan,
-        p.smt_threads,
-        p.llc,
-        p.l2,
-        p.l1i,
-        p.l1d,
-        p.prefetch,
-        p.rob_entries,
-        p.reservation_stations,
-        p.width,
-    )
+def _cache_key(kind: str, name: str, config: RunConfig) -> str:
+    # The key is the canonical fingerprint over *every* configuration
+    # field.  The previous hand-picked tuple omitted the memory
+    # subsystem (latency, channels, peak bandwidth, MSHRs, buffers,
+    # TLBs, ...), so sweeps over those dimensions silently returned the
+    # first-seen configuration's results.
+    return config_fingerprint(kind, name, config)
 
 
 def _attach_faults(app: ServerApp, config: RunConfig) -> None:
@@ -153,9 +148,18 @@ def _attach_faults(app: ServerApp, config: RunConfig) -> None:
         app.attach_faults(FaultInjector(config.fault_plan))
 
 
-def _guarded(app: ServerApp, tid: int, budget: int, label: str):
-    """An app trace wrapped in the runaway-trace watchdog."""
+def guarded_trace(app: ServerApp, tid: int, budget: int, label: str):
+    """An app trace wrapped in the runaway-trace watchdog.
+
+    Every path that feeds a core must come through here (the ablation
+    experiments included), so a wedged serve loop raises
+    :class:`RunawayTraceError` instead of hanging the sweep.
+    """
     return guard_trace(app.trace(tid, budget), trace_budget(budget), label)
+
+
+#: Internal alias kept for the call sites below.
+_guarded = guarded_trace
 
 
 def run_workload(name: str, config: RunConfig | None = None,
@@ -210,7 +214,8 @@ _GROUP_MEMBERS: dict[str, list[str]] = {
 
 
 def run_workload_members(name: str, config: RunConfig | None = None,
-                         smt: bool = False) -> list[WorkloadRun]:
+                         smt: bool = False,
+                         use_cache: bool = True) -> list[WorkloadRun]:
     """Measure a workload as the paper reports it: synthetic benchmark
     groups (PARSEC/SPECint cpu/mem) run one member at a time — their
     metrics are averaged and their spread gives Figure 3's range bars —
@@ -219,23 +224,23 @@ def run_workload_members(name: str, config: RunConfig | None = None,
     members = _GROUP_MEMBERS.get(name)
     runner = run_workload_smt if smt else run_workload
     if members is None:
-        return [runner(name, config)]
+        return [runner(name, config, use_cache)]
     runs = []
     for member in members:
         member_config = replace(config, window_uops=config.window_uops // 2,
                                 warm_uops=config.warm_uops // 2)
-        runs.append(_run_member(name, member, member_config, smt))
+        runs.append(_run_member(name, member, member_config, smt, use_cache))
     return runs
 
 
 def _run_member(group: str, member: str, config: RunConfig,
-                smt: bool) -> WorkloadRun:
+                smt: bool, use_cache: bool = True) -> WorkloadRun:
     from repro.core.workloads import REGISTRY
 
     params = config.params.with_smt(2) if smt else config.params
     key = _cache_key("smt-member" if smt else "member", f"{group}:{member}",
                      replace(config, params=params))
-    if (hit := _cache_get(key)) is not None:
+    if use_cache and (hit := _cache_get(key)) is not None:
         return hit
     spec = REGISTRY[group]
     app_cls = type(spec.factory(0))
@@ -252,7 +257,8 @@ def _run_member(group: str, member: str, config: RunConfig,
     else:
         result = core.run([_guarded(app, 0, config.window_uops, label)])
     run = WorkloadRun(label, replace(config, params=params), result, app)
-    _cache_put(key, run)
+    if use_cache:
+        _cache_put(key, run)
     return run
 
 

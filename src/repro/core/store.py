@@ -1,0 +1,172 @@
+"""Persistent on-disk result store: one JSON document per fingerprint.
+
+Measurements are deterministic given their configuration, so a result
+keyed by :func:`~repro.core.sweep.config_fingerprint` never goes stale
+— repeated figure regeneration can skip every cell it has already run,
+across process invocations.  Layout::
+
+    ~/.cache/repro/results-v<SCHEMA>/<fingerprint>.json
+
+``REPRO_CACHE_DIR`` overrides the root (tests point it at a tmpdir);
+otherwise ``XDG_CACHE_HOME``/``~/.cache`` conventions apply.  The
+schema version sits in the directory name *and* in every document, so
+a result written by an incompatible build is a miss, never a wrong
+answer.  Writes reuse the manifest's atomic temp-file + ``os.replace``
+discipline — a kill mid-write leaves the store consistent.
+
+Documents are intentionally minimal: the run's name, its full
+configuration (round-tripped through the same dataclasses), and the
+``CoreResult`` counters.  Live app state never touches disk; a run
+restored from the store has ``app=None``, which is all the figure
+modules need.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+
+from repro.core.runner import RunConfig, WorkloadRun
+from repro.faults.manifest import atomic_write_json
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.uarch.core import CoreResult
+from repro.uarch.params import CacheParams, MachineParams, PrefetcherParams
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ResultStore",
+    "default_cache_dir",
+    "run_to_dict",
+    "run_from_dict",
+]
+
+#: Bump whenever the stored document shape or the semantics of the
+#: counters change; old directories are simply ignored (and reported
+#: as stale by ``python -m repro cache``).
+SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> pathlib.Path:
+    """The store root: ``$REPRO_CACHE_DIR``, else XDG, else ~/.cache."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return pathlib.Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
+    return base / "repro"
+
+
+def _config_to_dict(config: RunConfig) -> dict:
+    return dataclasses.asdict(config)
+
+
+def _config_from_dict(data: dict) -> RunConfig:
+    params_data = dict(data["params"])
+    for cache_field in ("l1i", "l1d", "l2", "llc"):
+        params_data[cache_field] = CacheParams(**params_data[cache_field])
+    params_data["prefetch"] = PrefetcherParams(**params_data["prefetch"])
+    params = MachineParams(**params_data)
+    plan_data = data.get("fault_plan")
+    plan = None
+    if plan_data is not None:
+        plan = FaultPlan(
+            events=tuple(FaultEvent(**event) for event in plan_data["events"]),
+            seed=plan_data["seed"],
+        )
+    return RunConfig(
+        params=params,
+        window_uops=data["window_uops"],
+        warm_uops=data["warm_uops"],
+        seed=data["seed"],
+        fault_plan=plan,
+    )
+
+
+def run_to_dict(run: WorkloadRun) -> dict:
+    """A JSON-safe payload for one run (also the pool-worker wire form)."""
+    return {
+        "name": run.name,
+        "config": _config_to_dict(run.config),
+        "result": dataclasses.asdict(run.result),
+    }
+
+
+def run_from_dict(data: dict) -> WorkloadRun:
+    """Rebuild a run from :func:`run_to_dict` output (``app`` is None)."""
+    return WorkloadRun(
+        name=data["name"],
+        config=_config_from_dict(data["config"]),
+        result=CoreResult(**data["result"]),
+        app=None,
+    )
+
+
+class ResultStore:
+    """A directory of fingerprint-keyed result documents."""
+
+    def __init__(self, root: str | pathlib.Path | None = None) -> None:
+        self.root = pathlib.Path(root) if root is not None \
+            else default_cache_dir()
+        self.directory = self.root / f"results-v{SCHEMA_VERSION}"
+
+    def path_for(self, fingerprint: str) -> pathlib.Path:
+        return self.directory / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> list[WorkloadRun] | None:
+        """The stored runs for ``fingerprint``, or None on any defect."""
+        try:
+            raw = json.loads(self.path_for(fingerprint).read_text())
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return None
+        if not isinstance(raw, dict):
+            return None
+        if raw.get("schema") != SCHEMA_VERSION:
+            return None
+        if raw.get("fingerprint") != fingerprint:
+            return None  # renamed/copied file: don't trust it
+        try:
+            return [run_from_dict(entry) for entry in raw["runs"]]
+        except (KeyError, TypeError, ValueError):
+            return None  # torn or hand-edited document: recompute
+
+    def put(self, fingerprint: str, runs: list[WorkloadRun]) -> None:
+        """Persist ``runs`` under ``fingerprint`` atomically."""
+        document = {
+            "schema": SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "runs": [run_to_dict(run) for run in runs],
+        }
+        atomic_write_json(self.path_for(fingerprint), document)
+
+    def stats(self) -> dict:
+        """Entry count, total bytes, and stale-version leftovers."""
+        entries = 0
+        nbytes = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                entries += 1
+                nbytes += path.stat().st_size
+        stale = [
+            p.name for p in self.root.glob("results-v*")
+            if p.is_dir() and p != self.directory
+        ] if self.root.is_dir() else []
+        return {
+            "path": str(self.directory),
+            "entries": entries,
+            "bytes": nbytes,
+            "stale_versions": sorted(stale),
+        }
+
+    def clear(self) -> int:
+        """Remove every current-version entry; returns how many."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except FileNotFoundError:
+                    pass
+        return removed

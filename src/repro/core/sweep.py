@@ -1,0 +1,223 @@
+"""Parallel, incrementally-cached sweep engine for the experiment harness.
+
+Three pieces, layered so each is useful on its own:
+
+* :func:`config_fingerprint` — a canonical, collision-free digest of a
+  measurement configuration.  It is derived *structurally* from every
+  field of the frozen ``RunConfig``/``MachineParams``/``FaultPlan``
+  dataclasses (recursing through nested dataclasses and tuples), so a
+  configuration dimension can never silently fall out of the cache key
+  again: a field added tomorrow participates automatically.  The
+  in-process LRU in :mod:`repro.core.runner` and the on-disk store in
+  :mod:`repro.core.store` both key on it.
+
+* :class:`Cell` — one declarative unit of sweep work: "measure workload
+  *name* under *config* with runner *kind*".  The figure modules emit
+  lists of cells instead of calling the runner in ad-hoc loops.
+
+* :class:`SweepEngine` — executes a cell list, optionally fanning the
+  cells across a process pool (``jobs > 1``) and consulting a
+  persistent :class:`~repro.core.store.ResultStore` first.  Results are
+  merged in *cell order* regardless of completion order, so a parallel
+  sweep produces byte-identical tables to a serial one at the same
+  seed.
+
+The fingerprint functions deliberately import nothing from the runner:
+``runner.py`` imports them at module load, while this module reaches
+back into the runner lazily inside the execution helpers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields, is_dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.runner import RunConfig, WorkloadRun
+    from repro.core.store import ResultStore
+
+__all__ = [
+    "FINGERPRINT_SCHEMA",
+    "canonical",
+    "config_fingerprint",
+    "Cell",
+    "SweepEngine",
+]
+
+#: Bump when the *meaning* of a configuration field changes (not when
+#: fields are added — those change the fingerprint structurally).
+FINGERPRINT_SCHEMA = 1
+
+
+def canonical(value: object) -> object:
+    """The canonical JSON-able form of a configuration value.
+
+    Dataclasses map to ``{"__type__": ..., field: canonical(value)}``
+    over *every* declared field, tuples/lists to lists, scalars to
+    themselves.  Anything else is a hard error — an unfingerprintable
+    configuration must fail loudly, not alias silently.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        doc: dict[str, object] = {"__type__": type(value).__name__}
+        for f in fields(value):
+            doc[f.name] = canonical(getattr(value, f.name))
+        return doc
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): canonical(v) for k, v in sorted(value.items())}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"cannot fingerprint configuration value of type "
+        f"{type(value).__name__!r}: {value!r}"
+    )
+
+
+def config_fingerprint(kind: str, name: str, config: "RunConfig") -> str:
+    """A collision-free hex digest identifying one measurement.
+
+    Unlike the historical hand-picked cache key, this covers *all*
+    fields of the configuration (memory latency, channel count, peak
+    bandwidth, MSHRs, load/store buffers, fetch queue, branch penalty,
+    TLB geometry, ...), so sweeps over any machine dimension get
+    distinct cache entries.
+    """
+    document = {
+        "schema": FINGERPRINT_SCHEMA,
+        "kind": kind,
+        "name": name,
+        "config": canonical(config),
+    }
+    text = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+#: Runner dispatch kinds a cell may name.
+CELL_KINDS = ("single", "smt", "members", "smt-members", "chip")
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One declarative unit of sweep work.
+
+    ``kind`` selects the runner entry point; ``num_cores``/``segments``
+    only apply to ``chip`` cells (they mirror ``run_workload_chip``).
+    A chip cell's result is the chip's *summed* per-core counters
+    wrapped as a ``WorkloadRun`` — the form every figure consumes.
+    """
+
+    kind: str
+    name: str
+    config: "RunConfig"
+    num_cores: int = 4
+    segments: int = 8
+
+    def __post_init__(self) -> None:
+        if self.kind not in CELL_KINDS:
+            raise ValueError(f"unknown cell kind {self.kind!r}; "
+                             f"known: {', '.join(CELL_KINDS)}")
+
+    def fingerprint(self) -> str:
+        kind = self.kind
+        if kind == "chip":
+            kind = f"chip{self.num_cores}x{self.segments}"
+        return config_fingerprint(kind, self.name, self.config)
+
+
+def _execute_cell(cell: Cell, use_cache: bool = True) -> list["WorkloadRun"]:
+    """Run one cell in-process and return its runs (1+ for groups)."""
+    from repro.core import runner
+
+    if cell.kind == "single":
+        return [runner.run_workload(cell.name, cell.config, use_cache)]
+    if cell.kind == "smt":
+        return [runner.run_workload_smt(cell.name, cell.config, use_cache)]
+    if cell.kind == "members":
+        return runner.run_workload_members(cell.name, cell.config,
+                                           use_cache=use_cache)
+    if cell.kind == "smt-members":
+        return runner.run_workload_members(cell.name, cell.config, smt=True,
+                                           use_cache=use_cache)
+    chip_run = runner.run_workload_chip(
+        cell.name, cell.config, num_cores=cell.num_cores,
+        segments=cell.segments, use_cache=use_cache,
+    )
+    return [runner.WorkloadRun(cell.name, chip_run.config,
+                               chip_run.summed, chip_run.app)]
+
+
+def _cell_worker(task: tuple[Cell, bool]) -> list[dict]:
+    """Pool worker: execute a cell, return JSON-safe run payloads.
+
+    ``WorkloadRun.app`` holds live simulator state (generators, open
+    traces) that must not cross a process boundary; the payload carries
+    only what the figures consume — name, config, and counters.
+    """
+    from repro.core.store import run_to_dict
+
+    cell, use_cache = task
+    return [run_to_dict(run) for run in _execute_cell(cell, use_cache)]
+
+
+class SweepEngine:
+    """Executes cell lists with optional parallelism and persistence.
+
+    ``jobs``        worker processes (1 = serial, in this process).
+    ``use_cache``   consult/populate the runner's in-process LRU and
+                    the on-disk store (``False`` forces fresh runs).
+    ``store``       a :class:`~repro.core.store.ResultStore`, or None
+                    to skip disk persistence entirely.
+
+    ``run`` returns one ``list[WorkloadRun]`` per cell, *in cell
+    order*; parallel completion order never leaks into results, so
+    tables built from them are byte-identical to a serial sweep.
+    """
+
+    def __init__(self, jobs: int = 1, use_cache: bool = True,
+                 store: "ResultStore | None" = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.use_cache = use_cache
+        self.store = store
+
+    def run(self, cells: Sequence[Cell]) -> list[list["WorkloadRun"]]:
+        from repro.core.store import run_from_dict
+
+        results: list[list["WorkloadRun"] | None] = [None] * len(cells)
+        pending: list[tuple[int, Cell, str]] = []
+        for index, cell in enumerate(cells):
+            fingerprint = cell.fingerprint()
+            hit = None
+            if self.store is not None and self.use_cache:
+                hit = self.store.get(fingerprint)
+            if hit is not None:
+                results[index] = hit
+            else:
+                pending.append((index, cell, fingerprint))
+
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                from concurrent.futures import ProcessPoolExecutor
+
+                tasks = [(cell, self.use_cache) for _, cell, _ in pending]
+                workers = min(self.jobs, len(tasks))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    payloads = list(pool.map(_cell_worker, tasks))
+                fresh = [[run_from_dict(d) for d in payload]
+                         for payload in payloads]
+            else:
+                fresh = [_execute_cell(cell, self.use_cache)
+                         for _, cell, _ in pending]
+            for (index, _cell, fingerprint), runs in zip(pending, fresh):
+                if self.store is not None and self.use_cache:
+                    self.store.put(fingerprint, runs)
+                results[index] = runs
+        return results  # type: ignore[return-value]
+
+    def run_flat(self, cells: Sequence[Cell]) -> list["WorkloadRun"]:
+        """Like :meth:`run` for single-run cells: one run per cell."""
+        return [runs[0] for runs in self.run(cells)]

@@ -21,6 +21,32 @@ import pathlib
 import tempfile
 
 
+def atomic_write_json(path: str | pathlib.Path, document: object) -> None:
+    """Write ``document`` as JSON via temp file + ``os.replace``.
+
+    A kill at any instant leaves either the previous file or the new
+    one on disk — never a torn one.  Shared by the sweep manifest and
+    the on-disk result store.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=str(path.parent),
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 class SweepManifest:
     """A per-run checkpoint file mapping cell keys to row payloads."""
 
@@ -72,25 +98,8 @@ class SweepManifest:
             pass
 
     def _flush(self) -> None:
-        document = {
+        atomic_write_json(self.path, {
             "version": self.FORMAT_VERSION,
             "meta": self.meta,
             "cells": self.cells,
-        }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=self.path.name + ".", suffix=".tmp",
-            dir=str(self.path.parent),
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(document, handle, indent=1, sort_keys=True)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_name, self.path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        })

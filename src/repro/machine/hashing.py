@@ -1,0 +1,38 @@
+"""Deterministic hashing for simulated layouts.
+
+Builtin ``hash()`` of strings is salted per process (PYTHONHASHSEED),
+so any simulated quantity derived from it — static branch-site PCs,
+hash-table bucket choices, shuffle partitions — silently varies from
+one interpreter to the next.  Serial runs masked this; a parallel sweep
+fans cells out to worker *processes*, each with its own salt, and the
+tables stopped being byte-identical to the serial ones.
+
+Everything that maps a name or key to a simulated address or bucket
+must go through :func:`stable_hash` instead.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+
+def stable_hash(*parts: object) -> int:
+    """A deterministic non-negative hash of ``parts``, salt-free.
+
+    A single integer keeps builtin hashing: CPython's int hash is
+    unsalted (near-identity), and the simulator's hash-table bucket
+    locality for sequentially allocated integer keys is part of the
+    calibrated memory behaviour — scattering it would change measured
+    off-chip traffic, not just determinism.
+
+    Anything else — strings, or tuples mixing names with ids — is
+    folded through CRC-32 of its ``repr``, which is stable across
+    processes.  CRC-32 is linear, so a final multiplicative mix (Knuth)
+    decorrelates the low bits for modulo bucket selection.
+    """
+    if len(parts) == 1 and type(parts[0]) is int:
+        return hash(parts[0]) & 0x7FFFFFFFFFFFFFFF
+    h = 0
+    for part in parts:
+        h = zlib.crc32(repr(part).encode("utf-8", "surrogatepass"), h)
+    return (h * 2654435761) & 0xFFFFFFFF

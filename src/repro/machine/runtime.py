@@ -21,6 +21,7 @@ import random
 from typing import Iterable
 
 from repro.machine.codelayout import CodeLayout, Function
+from repro.machine.hashing import stable_hash
 from repro.uarch.uop import MicroOp, OpKind
 
 _LINE = 64
@@ -171,7 +172,7 @@ class Runtime:
         """
         fn = self._fn
         if site is not None:
-            site_hash = hash((fn.name, site)) & 0x7FFFFFFF
+            site_hash = stable_hash(fn.name, site) & 0x7FFFFFFF
             pc = fn.base + (site_hash % (fn.size >> 2)) * 4
             target = fn.base + ((site_hash * 40503) % (fn.size >> 6)) * _LINE
             if not taken:

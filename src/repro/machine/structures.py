@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Hashable, Iterable
 
 from repro.machine.address_space import AddressSpace
+from repro.machine.hashing import stable_hash
 from repro.machine.runtime import Runtime
 
 _LINE = 64
@@ -82,7 +83,7 @@ class SimHashMap:
         self.size = 0
 
     def _bucket(self, key: Hashable) -> int:
-        return hash(key) % self.nbuckets
+        return stable_hash(key) % self.nbuckets
 
     def _bucket_addr(self, bucket: int) -> int:
         return self.bucket_base + bucket * 8

@@ -11,6 +11,24 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
+def per_core_utilization(nbytes: float, cycles: int, freq_hz: float,
+                         peak_bandwidth_bytes_per_s: float,
+                         active_cores: int = 4) -> float:
+    """Fraction of the per-core share of peak bandwidth that ``nbytes``
+    moved over ``cycles`` consumes — the one Figure 7 metric.
+
+    Single source of truth shared by :class:`MemoryChannels`,
+    :func:`repro.core.analysis.bandwidth_utilization`, and
+    ``WorkloadRun.bandwidth_utilization``, so the figure table and the
+    ``run`` CLI line can never disagree.
+    """
+    if not cycles:
+        return 0.0
+    seconds = cycles / freq_hz
+    per_core_peak = peak_bandwidth_bytes_per_s / max(active_cores, 1)
+    return (nbytes / seconds) / per_core_peak
+
+
 @dataclass
 class DramStats:
     read_bytes: int = 0
@@ -56,9 +74,5 @@ class MemoryChannels:
 
     def utilization(self, cycles: int, freq_hz: float, active_cores: int) -> float:
         """Fraction of the per-core share of peak bandwidth consumed."""
-        if cycles == 0:
-            return 0.0
-        seconds = cycles / freq_hz
-        per_core_peak = self.peak_bandwidth / max(active_cores, 1)
-        achieved = self.stats.total_bytes / seconds
-        return achieved / per_core_peak
+        return per_core_utilization(self.stats.total_bytes, cycles, freq_hz,
+                                    self.peak_bandwidth, active_cores)

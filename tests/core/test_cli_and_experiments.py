@@ -9,32 +9,41 @@ from repro.core.runner import RunConfig
 
 class TestCliParsing:
     def test_defaults(self):
-        args, config, bars, fresh = _parse_config(["figure1"])
+        args, config, options = _parse_config(["figure1"])
         assert args == ["figure1"]
         assert config.window_uops == 80_000
         assert config.warm_uops == 80_000 // 3
-        assert not bars
-        assert not fresh
+        assert not options.bars
+        assert not options.fresh
+        assert options.jobs == 1
+        assert not options.no_cache
 
     def test_window_and_warm_flags(self):
-        args, config, bars, fresh = _parse_config(
+        args, config, options = _parse_config(
             ["run", "tpc-c", "--window", "5000",
              "--warm", "1000", "--bars"])
         assert args == ["run", "tpc-c"]
         assert config.window_uops == 5000
         assert config.warm_uops == 1000
-        assert bars
-        assert not fresh
+        assert options.bars
+        assert not options.fresh
 
     def test_seed_and_fresh_flags(self):
-        args, config, bars, fresh = _parse_config(
+        args, config, options = _parse_config(
             ["faults", "--seed", "11", "--fresh"])
         assert args == ["faults"]
         assert config.seed == 11
-        assert fresh
+        assert options.fresh
+
+    def test_jobs_and_no_cache_flags(self):
+        args, _config, options = _parse_config(
+            ["figure4", "--jobs", "4", "--no-cache"])
+        assert args == ["figure4"]
+        assert options.jobs == 4
+        assert options.no_cache
 
     def test_help_flags_pass_through(self):
-        args, _, _, _ = _parse_config(["-h"])
+        args, _, _ = _parse_config(["-h"])
         assert args == ["-h"]
 
     @pytest.mark.parametrize("argv", [
@@ -43,6 +52,9 @@ class TestCliParsing:
         ["figure1", "--warm"],
         ["figure1", "--warm", "2.5"],
         ["figure1", "--seed", "x"],
+        ["figure4", "--jobs"],
+        ["figure4", "--jobs", "two"],
+        ["figure4", "--jobs", "0"],         # must be >= 1
         ["--bogus"],                        # unknown flag
         ["-x", "figure1"],
     ])
@@ -83,6 +95,43 @@ class TestCliCommands:
     def test_faults_rejects_unknown_workload(self, capsys):
         assert main(["faults", "no-such-workload"]) == 2
         assert "unknown workload" in capsys.readouterr().err
+
+    def test_run_rejects_unknown_workload(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "no-such-workload"])
+        assert exc.value.code == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_trace_rejects_unknown_workload(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["trace", "no-such-workload"])
+        assert exc.value.code == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_trace_rejects_non_integer_count(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["trace", "sat-solver", "abc"])
+        assert exc.value.code == 2
+        assert "trace count" in capsys.readouterr().err
+
+    def test_trace_accepts_integer_count(self, capsys):
+        assert main(["trace", "sat-solver", "5"]) == 0
+        assert capsys.readouterr().out
+
+    def test_cache_stats_and_clear(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 0" in out
+        assert main(["cache", "clear"]) == 0
+        assert "removed 0" in capsys.readouterr().out
+
+    def test_cache_rejects_unknown_action(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        with pytest.raises(SystemExit) as exc:
+            main(["cache", "prune"])
+        assert exc.value.code == 2
+        assert "unknown cache action" in capsys.readouterr().err
 
     def test_malformed_flag_exits_via_main(self, capsys):
         with pytest.raises(SystemExit) as exc:

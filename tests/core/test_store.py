@@ -1,0 +1,133 @@
+"""The on-disk result store: round-trips, versioning, incrementality."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.core import sweep as sweep_mod
+from repro.core.runner import RunConfig, run_workload
+from repro.core.store import (
+    SCHEMA_VERSION,
+    ResultStore,
+    default_cache_dir,
+    run_from_dict,
+    run_to_dict,
+)
+from repro.core.sweep import Cell, SweepEngine
+from repro.faults.plan import FaultPlan
+
+WEE = RunConfig(window_uops=6_000, warm_uops=2_000)
+
+
+class TestSerialization:
+    def test_run_round_trips_exactly(self):
+        run = run_workload("sat-solver", WEE)
+        restored = run_from_dict(json.loads(json.dumps(run_to_dict(run))))
+        assert restored.name == run.name
+        assert restored.config == run.config
+        assert restored.result == run.result
+        assert restored.app is None
+
+    def test_fault_plan_config_round_trips(self):
+        config = replace(WEE, fault_plan=FaultPlan.degraded(seed=3,
+                                                            intensity=1.5))
+        run = run_workload("data-serving", config)
+        restored = run_from_dict(json.loads(json.dumps(run_to_dict(run))))
+        assert restored.config == run.config
+        assert restored.config.fault_plan == config.fault_plan
+
+    def test_derived_metrics_survive_restoration(self):
+        run = run_workload("mapreduce", WEE)
+        restored = run_from_dict(run_to_dict(run))
+        assert restored.bandwidth_utilization() \
+            == run.bandwidth_utilization()
+        assert restored.os_bandwidth_fraction() \
+            == run.os_bandwidth_fraction()
+
+
+class TestResultStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run = run_workload("sat-solver", WEE)
+        store.put("f" * 64, [run])
+        restored = store.get("f" * 64)
+        assert restored is not None
+        assert restored[0].result == run.result
+
+    def test_missing_fingerprint_is_a_miss(self, tmp_path):
+        assert ResultStore(tmp_path).get("0" * 64) is None
+
+    def test_corrupt_document_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.path_for("a" * 64)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{not json")
+        assert store.get("a" * 64) is None
+
+    def test_wrong_schema_version_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run = run_workload("sat-solver", WEE)
+        store.put("b" * 64, [run])
+        path = store.path_for("b" * 64)
+        document = json.loads(path.read_text())
+        document["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(document))
+        assert store.get("b" * 64) is None
+
+    def test_renamed_document_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run = run_workload("sat-solver", WEE)
+        store.put("c" * 64, [run])
+        store.path_for("c" * 64).rename(store.path_for("d" * 64))
+        assert store.get("d" * 64) is None
+
+    def test_stats_and_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.stats()["entries"] == 0
+        run = run_workload("sat-solver", WEE)
+        store.put("e" * 64, [run])
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+        assert store.clear() == 1
+        assert store.stats()["entries"] == 0
+
+    def test_env_override_of_default_root(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+        assert ResultStore().root == tmp_path / "custom"
+
+
+class TestIncrementalSweeps:
+    def test_second_engine_run_hits_the_store(self, tmp_path, monkeypatch):
+        cells = [Cell("single", "sat-solver", WEE),
+                 Cell("members", "parsec-cpu", WEE)]
+        first = SweepEngine(store=ResultStore(tmp_path)).run(cells)
+
+        def explode(cell, use_cache=True):
+            raise AssertionError(f"store miss: {cell.kind}:{cell.name}")
+
+        monkeypatch.setattr(sweep_mod, "_execute_cell", explode)
+        second = SweepEngine(store=ResultStore(tmp_path)).run(cells)
+        for first_runs, second_runs in zip(first, second):
+            for a, b in zip(first_runs, second_runs):
+                assert a.result == b.result
+                assert a.config == b.config
+
+    def test_no_cache_engine_skips_the_store(self, tmp_path):
+        cells = [Cell("single", "sat-solver", WEE)]
+        store = ResultStore(tmp_path)
+        SweepEngine(store=store, use_cache=False).run(cells)
+        assert store.stats()["entries"] == 0
+
+    def test_restored_figure_table_is_byte_identical(self, tmp_path):
+        from repro.core.experiments import figure7
+
+        fresh = figure7.run(WEE, engine=SweepEngine(
+            store=ResultStore(tmp_path)))
+        restored = figure7.run(WEE, engine=SweepEngine(
+            store=ResultStore(tmp_path)))
+        assert fresh.to_text() == restored.to_text()
