@@ -12,6 +12,7 @@ Commands:
     verify                    check every paper claim against fresh runs
     all                       regenerate every table and figure
     cache [stats|clear]       inspect or empty the on-disk result store
+    doctor [--check]          scan/validate the store; quarantine defects
 
 Options:
 
@@ -19,13 +20,24 @@ Options:
     --warm N      functional-warming replay budget  (default window/3)
     --seed N      deterministic run seed            (default 7)
     --jobs N      worker processes for figure sweeps (default 1)
+    --timeout S   per-cell wall-clock deadline in seconds (default none)
+    --retries N   re-executions of a failed/crashed/timed-out cell
+                  before the sweep reports it (default 2)
+    --resume      rerun only the cells missing from an interrupted
+                  sweep's checkpoint journal
     --no-cache    bypass the in-process and on-disk result caches
     --bars        render figures as ASCII bar charts instead of tables
     --fresh       discard the faults sweep manifest before running
+    --check       doctor only: report defects without quarantining
 
 Figure sweeps persist results under ``~/.cache/repro/`` (override with
 ``REPRO_CACHE_DIR``), keyed by a full-configuration fingerprint, so
-regenerating a figure is incremental across invocations.
+regenerating a figure is incremental across invocations.  Sweeps run
+supervised: a crashed or hung worker costs only the cells in flight,
+completed cells are journaled crash-safely (``--resume`` picks an
+interrupted sweep back up), and every result is validated against
+physical invariants before it reaches the store or a figure —
+``doctor`` audits the store the same way.
 """
 
 from __future__ import annotations
@@ -36,9 +48,11 @@ from dataclasses import dataclass
 from repro.core.runner import RunConfig
 
 #: Flags that consume the following token as an integer value.
-_VALUE_FLAGS = ("--window", "--warm", "--seed", "--jobs")
+_VALUE_FLAGS = ("--window", "--warm", "--seed", "--jobs", "--retries")
+#: Flags that consume the following token as a float value.
+_FLOAT_FLAGS = ("--timeout",)
 #: Boolean switches.
-_SWITCH_FLAGS = ("--bars", "--fresh", "--no-cache")
+_SWITCH_FLAGS = ("--bars", "--fresh", "--no-cache", "--resume", "--check")
 
 
 @dataclass
@@ -49,6 +63,10 @@ class CliOptions:
     fresh: bool = False
     jobs: int = 1
     no_cache: bool = False
+    timeout: float | None = None
+    retries: int = 2
+    resume: bool = False
+    check: bool = False
 
 
 def _usage_error(message: str) -> None:
@@ -65,7 +83,9 @@ def _parse_config(args: list[str]) -> tuple[list[str], RunConfig, CliOptions]:
     they print a diagnostic and exit with status 2 rather than leaking
     a raw ``StopIteration``/``ValueError`` traceback.
     """
-    values = {"--window": 80_000, "--warm": None, "--seed": 7, "--jobs": 1}
+    values = {"--window": 80_000, "--warm": None, "--seed": 7, "--jobs": 1,
+              "--retries": 2}
+    floats: dict[str, float | None] = {"--timeout": None}
     switches = {name: False for name in _SWITCH_FLAGS}
     rest: list[str] = []
     it = iter(args)
@@ -78,6 +98,14 @@ def _parse_config(args: list[str]) -> tuple[list[str], RunConfig, CliOptions]:
                 values[arg] = int(raw)
             except ValueError:
                 _usage_error(f"{arg} requires an integer value, got {raw!r}")
+        elif arg in _FLOAT_FLAGS:
+            raw = next(it, None)
+            if raw is None:
+                _usage_error(f"{arg} requires a numeric value")
+            try:
+                floats[arg] = float(raw)
+            except ValueError:
+                _usage_error(f"{arg} requires a numeric value, got {raw!r}")
         elif arg in _SWITCH_FLAGS:
             switches[arg] = True
         elif arg.startswith("-") and arg not in ("-h", "--help"):
@@ -86,6 +114,11 @@ def _parse_config(args: list[str]) -> tuple[list[str], RunConfig, CliOptions]:
             rest.append(arg)
     if values["--jobs"] < 1:
         _usage_error(f"--jobs must be >= 1, got {values['--jobs']}")
+    if values["--retries"] < 0:
+        _usage_error(f"--retries must be >= 0, got {values['--retries']}")
+    timeout = floats["--timeout"]
+    if timeout is not None and timeout <= 0:
+        _usage_error(f"--timeout must be positive, got {timeout:g}")
     window = values["--window"]
     warm = values["--warm"]
     config = RunConfig(window_uops=window,
@@ -93,19 +126,29 @@ def _parse_config(args: list[str]) -> tuple[list[str], RunConfig, CliOptions]:
                        seed=values["--seed"])
     options = CliOptions(bars=switches["--bars"], fresh=switches["--fresh"],
                          jobs=values["--jobs"],
-                         no_cache=switches["--no-cache"])
+                         no_cache=switches["--no-cache"],
+                         timeout=timeout, retries=values["--retries"],
+                         resume=switches["--resume"],
+                         check=switches["--check"])
     return rest, config, options
 
 
 def _build_engine(options: CliOptions):
-    """The sweep engine the figure commands share: parallel when asked,
-    backed by the persistent store unless ``--no-cache``."""
-    from repro.core.store import ResultStore
+    """The sweep engine the figure commands share: supervised and
+    parallel when asked, backed by the persistent store unless
+    ``--no-cache`` (the crash-safe checkpoint journal is kept either
+    way, so ``--resume`` works even for uncached sweeps)."""
+    from repro.core.store import ResultStore, default_cache_dir
     from repro.core.sweep import SweepEngine
+    from repro.faults.retry import RetryPolicy
 
     store = None if options.no_cache else ResultStore()
+    policy = RetryPolicy.for_harness(timeout=options.timeout,
+                                     retries=options.retries)
     return SweepEngine(jobs=options.jobs, use_cache=not options.no_cache,
-                       store=store)
+                       store=store, retry=policy,
+                       checkpoint_dir=default_cache_dir() / "checkpoints",
+                       resume=options.resume)
 
 
 def _run_figure(name: str, config: RunConfig, options: CliOptions,
@@ -160,10 +203,44 @@ def _cache_command(args: list[str]) -> int:
     print(f"store:   {stats['path']}")
     print(f"entries: {stats['entries']}")
     print(f"bytes:   {stats['bytes']}")
+    if stats["corrupt_entries"]:
+        print(f"corrupt: {stats['corrupt_entries']} quarantined document(s) "
+              "(see `python -m repro doctor`)")
     if stats["stale_versions"]:
         print(f"stale:   {', '.join(stats['stale_versions'])} "
               "(older schema versions; safe to delete)")
     return 0
+
+
+def _doctor_command(options: CliOptions) -> int:
+    """Scan and validate the store; quarantine what fails.
+
+    Exit status 0 means every document is healthy; 1 means defects
+    were found (and, unless ``--check``, moved into ``corrupt/``).
+    """
+    from repro.core.store import ResultStore, default_cache_dir
+
+    store = ResultStore()
+    report = store.doctor(repair=not options.check)
+    print(f"store:     {report['path']}")
+    print(f"scanned:   {report['scanned']}")
+    print(f"healthy:   {report['healthy']}")
+    verb = "quarantined" if report["repaired"] else "defective"
+    print(f"{verb}: {len(report['defects'])}")
+    for fingerprint, reason in report["defects"]:
+        print(f"  {fingerprint[:16]}…: {reason}")
+    if report["corrupt_entries"]:
+        print(f"corrupt/:  {report['corrupt_entries']} document(s) "
+              f"under {store.corrupt_directory}")
+    if report["stale_versions"]:
+        print(f"stale:     {', '.join(report['stale_versions'])} "
+              "(older schema versions; safe to delete)")
+    journals = sorted((default_cache_dir() / "checkpoints")
+                      .glob("sweep-*.json"))
+    if journals:
+        print(f"journals:  {len(journals)} interrupted sweep(s) can be "
+              "picked up with --resume")
+    return 1 if report["defects"] else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -188,6 +265,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if command == "cache":
         return _cache_command(args[1:])
+    if command == "doctor":
+        return _doctor_command(options)
     if command == "trace":
         from repro.tools import dump_trace
 
@@ -237,18 +316,28 @@ def main(argv: list[str] | None = None) -> int:
             print(experiment(config).to_text())
             print()
         return 0
+    from repro.core.supervise import SweepCellError
+
     if command == "all":
         from repro.core.experiments import ALL_EXPERIMENTS
 
         engine = _build_engine(options)
         for name in ALL_EXPERIMENTS:
-            _run_figure(name, config, options, engine=engine)
+            try:
+                _run_figure(name, config, options, engine=engine)
+            except SweepCellError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
             print()
         return 0
     from repro.core.experiments import ALL_EXPERIMENTS
 
     if command in ALL_EXPERIMENTS:
-        _run_figure(command, config, options)
+        try:
+            _run_figure(command, config, options)
+        except SweepCellError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         return 0
     print(f"unknown command {command!r}; try `python -m repro help`")
     return 2

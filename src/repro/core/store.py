@@ -19,6 +19,14 @@ configuration (round-tripped through the same dataclasses), and the
 ``CoreResult`` counters.  Live app state never touches disk; a run
 restored from the store has ``app=None``, which is all the figure
 modules need.
+
+Defective documents are never silently recomputed-over: a document
+that fails to parse, carries the wrong fingerprint (renamed/copied
+file), or violates the physical invariants in
+:mod:`repro.core.validate` is **quarantined** into ``corrupt/`` next to
+the results directory, with a ``.reason`` sidecar recording the
+diagnosis — the evidence survives for ``python -m repro doctor``
+instead of being destroyed by the next ``put``.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ import os
 import pathlib
 
 from repro.core.runner import RunConfig, WorkloadRun
+from repro.core.validate import check_result, validate_runs
 from repro.faults.manifest import atomic_write_json
 from repro.faults.plan import FaultEvent, FaultPlan
 from repro.uarch.core import CoreResult
@@ -110,29 +119,71 @@ class ResultStore:
         self.root = pathlib.Path(root) if root is not None \
             else default_cache_dir()
         self.directory = self.root / f"results-v{SCHEMA_VERSION}"
+        self.corrupt_directory = self.root / "corrupt"
 
     def path_for(self, fingerprint: str) -> pathlib.Path:
         return self.directory / f"{fingerprint}.json"
 
-    def get(self, fingerprint: str) -> list[WorkloadRun] | None:
-        """The stored runs for ``fingerprint``, or None on any defect."""
+    def _decode(self, path: pathlib.Path,
+                fingerprint: str) -> tuple[list[WorkloadRun] | None, str | None]:
+        """``(runs, None)`` for a healthy document, ``(None, reason)``
+        for a defective one, ``(None, None)`` for a plain miss."""
         try:
-            raw = json.loads(self.path_for(fingerprint).read_text())
-        except (FileNotFoundError, json.JSONDecodeError, OSError):
-            return None
+            text = path.read_text()
+        except FileNotFoundError:
+            return None, None
+        except OSError as exc:
+            return None, f"unreadable: {exc}"
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            return None, f"not valid JSON ({exc})"
         if not isinstance(raw, dict):
-            return None
+            return None, "document is not a JSON object"
         if raw.get("schema") != SCHEMA_VERSION:
-            return None
+            return None, (f"schema {raw.get('schema')!r} inside the "
+                          f"v{SCHEMA_VERSION} directory")
         if raw.get("fingerprint") != fingerprint:
-            return None  # renamed/copied file: don't trust it
+            return None, (f"fingerprint field {raw.get('fingerprint')!r} "
+                          "does not match the filename (renamed or copied "
+                          "document)")
         try:
-            return [run_from_dict(entry) for entry in raw["runs"]]
-        except (KeyError, TypeError, ValueError):
-            return None  # torn or hand-edited document: recompute
+            runs = [run_from_dict(entry) for entry in raw["runs"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            return None, f"undecodable runs ({type(exc).__name__}: {exc})"
+        violations = [
+            f"run {run.name!r}: {violation}"
+            for run in runs
+            for violation in check_result(run.result, run.config.params)
+        ]
+        if violations:
+            return None, "; ".join(violations)
+        return runs, None
 
-    def put(self, fingerprint: str, runs: list[WorkloadRun]) -> None:
-        """Persist ``runs`` under ``fingerprint`` atomically."""
+    def get(self, fingerprint: str) -> list[WorkloadRun] | None:
+        """The stored runs for ``fingerprint``, or None on a miss.
+
+        A *defective* document (torn, renamed, or physically
+        implausible) is also a miss, but it is quarantined into
+        ``corrupt/`` first so the evidence survives recomputation.
+        """
+        runs, defect = self._decode(self.path_for(fingerprint), fingerprint)
+        if defect is not None:
+            self.quarantine(fingerprint, defect)
+            return None
+        return runs
+
+    def put(self, fingerprint: str, runs: list[WorkloadRun],
+            validate: bool = True) -> None:
+        """Persist ``runs`` under ``fingerprint`` atomically.
+
+        By default the runs are validated first — a miscomputed result
+        raises :class:`~repro.core.validate.ValidationError` instead of
+        poisoning the store.  Callers that already validated (the sweep
+        engine) pass ``validate=False``.
+        """
+        if validate:
+            validate_runs(runs, context=f"store put {fingerprint[:12]}")
         document = {
             "schema": SCHEMA_VERSION,
             "fingerprint": fingerprint,
@@ -140,23 +191,85 @@ class ResultStore:
         }
         atomic_write_json(self.path_for(fingerprint), document)
 
+    def quarantine(self, fingerprint: str, reason: str) -> pathlib.Path | None:
+        """Move a defective document into ``corrupt/``, keeping evidence.
+
+        A ``.reason`` sidecar records the diagnosis.  Returns the new
+        path, or None if the document vanished concurrently.
+        """
+        source = self.path_for(fingerprint)
+        target = self.corrupt_directory / source.name
+        self.corrupt_directory.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(source, target)
+        except OSError:
+            return None  # vanished (or unmovable) concurrently
+        atomic_write_json(target.with_suffix(".reason"),
+                          {"fingerprint": fingerprint, "reason": reason})
+        return target
+
+    def doctor(self, repair: bool = True) -> dict:
+        """Scan every document; quarantine (or just report) defects.
+
+        Returns a report dictionary: how many documents were scanned
+        and healthy, the ``(fingerprint, reason)`` defect list, whether
+        they were quarantined, plus the pre-existing ``corrupt/``
+        population and stale schema directories.
+        """
+        scanned = 0
+        healthy = 0
+        defects: list[tuple[str, str]] = []
+        if self.directory.is_dir():
+            for path in sorted(self.directory.glob("*.json")):
+                runs, defect = self._decode(path, path.stem)
+                if runs is None and defect is None:
+                    continue  # removed while we scanned
+                scanned += 1
+                if defect is None:
+                    healthy += 1
+                    continue
+                defects.append((path.stem, defect))
+                if repair:
+                    self.quarantine(path.stem, defect)
+        corrupt = len(list(self.corrupt_directory.glob("*.json"))) \
+            if self.corrupt_directory.is_dir() else 0
+        return {
+            "path": str(self.directory),
+            "scanned": scanned,
+            "healthy": healthy,
+            "defects": defects,
+            "repaired": repair,
+            "corrupt_entries": corrupt,
+            "stale_versions": self._stale_versions(),
+        }
+
+    def _stale_versions(self) -> list[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p.name for p in self.root.glob("results-v*")
+            if p.is_dir() and p != self.directory
+        )
+
     def stats(self) -> dict:
         """Entry count, total bytes, and stale-version leftovers."""
         entries = 0
         nbytes = 0
         if self.directory.is_dir():
             for path in self.directory.glob("*.json"):
+                try:
+                    nbytes += path.stat().st_size
+                except FileNotFoundError:
+                    continue  # unlinked by a concurrent clear()
                 entries += 1
-                nbytes += path.stat().st_size
-        stale = [
-            p.name for p in self.root.glob("results-v*")
-            if p.is_dir() and p != self.directory
-        ] if self.root.is_dir() else []
+        corrupt = len(list(self.corrupt_directory.glob("*.json"))) \
+            if self.corrupt_directory.is_dir() else 0
         return {
             "path": str(self.directory),
             "entries": entries,
             "bytes": nbytes,
-            "stale_versions": sorted(stale),
+            "corrupt_entries": corrupt,
+            "stale_versions": self._stale_versions(),
         }
 
     def clear(self) -> int:

@@ -16,11 +16,14 @@ Three pieces, layered so each is useful on its own:
   lists of cells instead of calling the runner in ad-hoc loops.
 
 * :class:`SweepEngine` — executes a cell list, optionally fanning the
-  cells across a process pool (``jobs > 1``) and consulting a
-  persistent :class:`~repro.core.store.ResultStore` first.  Results are
-  merged in *cell order* regardless of completion order, so a parallel
-  sweep produces byte-identical tables to a serial one at the same
-  seed.
+  cells across a supervised process pool (``jobs > 1``, per-cell
+  futures with deadlines, retries, and crash isolation — see
+  :mod:`repro.core.supervise`) and consulting a persistent
+  :class:`~repro.core.store.ResultStore` first.  Fresh results are
+  validated against physical invariants, journaled to a resumable
+  checkpoint, and merged in *cell order* regardless of completion
+  order, so a parallel sweep produces byte-identical tables to a
+  serial one at the same seed.
 
 The fingerprint functions deliberately import nothing from the runner:
 ``runner.py`` imports them at module load, while this module reaches
@@ -37,6 +40,7 @@ from typing import TYPE_CHECKING, Sequence
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.core.runner import RunConfig, WorkloadRun
     from repro.core.store import ResultStore
+    from repro.faults.retry import RetryPolicy
 
 __all__ = [
     "FINGERPRINT_SCHEMA",
@@ -163,13 +167,33 @@ def _cell_worker(task: tuple[Cell, bool]) -> list[dict]:
 
 
 class SweepEngine:
-    """Executes cell lists with optional parallelism and persistence.
+    """Executes cell lists under supervision, with persistence.
 
-    ``jobs``        worker processes (1 = serial, in this process).
-    ``use_cache``   consult/populate the runner's in-process LRU and
-                    the on-disk store (``False`` forces fresh runs).
-    ``store``       a :class:`~repro.core.store.ResultStore`, or None
-                    to skip disk persistence entirely.
+    ``jobs``            worker processes (1 = serial, in this process).
+    ``use_cache``       consult/populate the runner's in-process LRU and
+                        the on-disk store (``False`` forces fresh runs).
+    ``store``           a :class:`~repro.core.store.ResultStore`, or
+                        None to skip disk persistence entirely.
+    ``retry``           the :class:`~repro.faults.retry.RetryPolicy`
+                        governing per-cell deadlines and retries (see
+                        ``RetryPolicy.for_harness``; delays/timeouts in
+                        wall-clock seconds).
+    ``checkpoint_dir``  directory for crash-safe sweep journals, or
+                        None to skip journaling.
+    ``resume``          trust an existing journal for this cell set and
+                        rerun only the cells it is missing (otherwise a
+                        stale journal is discarded).
+    ``worker``          the picklable pool entry point; the default
+                        executes cells for real — tests substitute
+                        fault-injecting wrappers.
+
+    Parallel cells are individually supervised futures: a worker death
+    (SIGKILL, OOM, segfault) or a cell overrunning ``retry.timeout``
+    costs only the cells in flight, which are retried with backoff on a
+    respawned pool; every completed cell is journaled and stored as it
+    finishes, and cells whose retries are exhausted surface together as
+    a :class:`~repro.core.supervise.SweepCellError` once the rest of
+    the sweep is done.
 
     ``run`` returns one ``list[WorkloadRun]`` per cell, *in cell
     order*; parallel completion order never leaks into results, so
@@ -177,47 +201,120 @@ class SweepEngine:
     """
 
     def __init__(self, jobs: int = 1, use_cache: bool = True,
-                 store: "ResultStore | None" = None) -> None:
+                 store: "ResultStore | None" = None,
+                 retry: "RetryPolicy | None" = None,
+                 checkpoint_dir: "str | None" = None,
+                 resume: bool = False,
+                 worker=None) -> None:
+        from repro.faults.retry import RetryPolicy
+
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.use_cache = use_cache
         self.store = store
+        self.retry = retry if retry is not None else RetryPolicy.for_harness()
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
+        self.worker = worker if worker is not None else _cell_worker
 
     def run(self, cells: Sequence[Cell]) -> list[list["WorkloadRun"]]:
-        from repro.core.store import run_from_dict
+        from repro.core.store import run_to_dict
+        from repro.core.supervise import (SweepCellError, SweepCheckpoint,
+                                          SweepSupervisor, run_serial)
+        from repro.core.validate import validate_runs
 
+        fingerprints = [cell.fingerprint() for cell in cells]
+        checkpoint = None
+        if self.checkpoint_dir is not None:
+            checkpoint = SweepCheckpoint(self.checkpoint_dir, fingerprints,
+                                         resume=self.resume)
         results: list[list["WorkloadRun"] | None] = [None] * len(cells)
         pending: list[tuple[int, Cell, str]] = []
-        for index, cell in enumerate(cells):
-            fingerprint = cell.fingerprint()
+        for index, (cell, fingerprint) in enumerate(zip(cells, fingerprints)):
             hit = None
             if self.store is not None and self.use_cache:
                 hit = self.store.get(fingerprint)
+            if hit is None and checkpoint is not None:
+                hit = self._from_checkpoint(checkpoint, cell, fingerprint)
             if hit is not None:
                 results[index] = hit
             else:
                 pending.append((index, cell, fingerprint))
 
+        def accept(index: int, cell: Cell, fingerprint: str,
+                   runs: list["WorkloadRun"]) -> None:
+            # Gatekeeper for every fresh result: an implausible run
+            # raises ValidationError here, which the supervisor treats
+            # as a cell failure (retried, then reported) — it never
+            # reaches the store, the journal, or a figure.
+            validate_runs(runs, context=f"cell {cell.kind}:{cell.name}")
+            if checkpoint is not None:
+                checkpoint.put(fingerprint, [run_to_dict(r) for r in runs])
+            if self.store is not None and self.use_cache:
+                self.store.put(fingerprint, runs, validate=False)
+            results[index] = runs
+
+        failures: list[dict] = []
         if pending:
             if self.jobs > 1 and len(pending) > 1:
-                from concurrent.futures import ProcessPoolExecutor
-
-                tasks = [(cell, self.use_cache) for _, cell, _ in pending]
-                workers = min(self.jobs, len(tasks))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    payloads = list(pool.map(_cell_worker, tasks))
-                fresh = [[run_from_dict(d) for d in payload]
-                         for payload in payloads]
+                supervisor = SweepSupervisor(self.worker, self.jobs,
+                                             self.retry,
+                                             use_cache=self.use_cache)
+                failures = supervisor.run(pending, self._payload_acceptor(accept))
             else:
-                fresh = [_execute_cell(cell, self.use_cache)
-                         for _, cell, _ in pending]
-            for (index, _cell, fingerprint), runs in zip(pending, fresh):
-                if self.store is not None and self.use_cache:
-                    self.store.put(fingerprint, runs)
-                results[index] = runs
+                failures = run_serial(
+                    pending, lambda cell: _execute_cell(cell, self.use_cache),
+                    self.retry, accept)
+        if failures:
+            raise SweepCellError(failures)
+        if checkpoint is not None:
+            checkpoint.complete()
         return results  # type: ignore[return-value]
+
+    @staticmethod
+    def _payload_acceptor(accept):
+        """Wrap ``accept`` to decode pool-worker payloads first; an
+        undecodable payload counts as a validation failure (retried)."""
+        from repro.core.store import run_from_dict
+        from repro.core.validate import ValidationError
+
+        def on_payload(index, cell, fingerprint, payload):
+            try:
+                runs = [run_from_dict(entry) for entry in payload]
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValidationError(
+                    f"cell {cell.kind}:{cell.name}",
+                    [f"undecodable worker payload: {exc}"]) from exc
+            accept(index, cell, fingerprint, runs)
+        return on_payload
+
+    def _from_checkpoint(self, checkpoint, cell: Cell,
+                         fingerprint: str) -> "list[WorkloadRun] | None":
+        """A journaled cell's runs, re-validated; None reruns the cell."""
+        from repro.core.store import run_from_dict
+        from repro.core.validate import ValidationError, validate_runs
+
+        payload = checkpoint.get(fingerprint)
+        if payload is None:
+            return None
+        try:
+            runs = [run_from_dict(entry) for entry in payload]
+            validate_runs(runs, context=f"checkpoint {cell.kind}:{cell.name}")
+        except (KeyError, TypeError, ValueError, ValidationError):
+            return None  # torn or stale journal entry: recompute
+        if self.store is not None and self.use_cache:
+            self.store.put(fingerprint, runs, validate=False)
+        return runs
 
     def run_flat(self, cells: Sequence[Cell]) -> list["WorkloadRun"]:
         """Like :meth:`run` for single-run cells: one run per cell."""
-        return [runs[0] for runs in self.run(cells)]
+        flattened: list["WorkloadRun"] = []
+        for cell, runs in zip(cells, self.run(cells)):
+            if not runs:
+                raise ValueError(
+                    f"cell {cell.kind}:{cell.name} produced no runs; "
+                    "run_flat needs exactly one run per cell (did a "
+                    "workload group lose all its members?)")
+            flattened.append(runs[0])
+        return flattened

@@ -1,0 +1,157 @@
+"""Physical-invariant validation for measurement results.
+
+Every figure in the reproduction is a function of ``CoreResult``
+counters.  A torn store document, a half-dead pool worker, or a future
+refactoring bug can hand the figure pipeline counters that are
+*physically impossible* — negative miss counts, an IPC above the
+machine's issue width, more OS cycles than total cycles — and without a
+gate those silently skew a table.  This module is that gate: a result
+entering or leaving the persistence layer (and every payload a sweep
+worker ships back) is checked against the invariants below and rejected
+loudly, with a diagnostic naming each violated invariant, instead of
+being averaged into a figure.
+
+The invariants are deliberately conservative — every one of them holds
+for all fourteen workloads in healthy, degraded (fault-injected), SMT,
+and chip-summed configurations:
+
+* cycles and instructions are strictly positive (MPKI and IPC are
+  otherwise undefined);
+* every raw counter is non-negative;
+* committing + stalled cycles account for exactly the measured cycles
+  (the §3.1 classification is a partition);
+* memory and super-queue busy cycles never exceed total cycles;
+* IPC is bounded by the commit width (times hardware threads);
+* MLP never exceeds the super-queue capacity (``mshr_entries``);
+* hit/miss pairs are consistent (L2 hits <= L2 accesses, mispredicts
+  <= branches, L2-I misses <= L1-I misses; LLC misses are deliberately
+  *not* bounded by ``llc_data_refs`` — misses include instruction-side
+  fills while the ref counter is data-only);
+* every OS-attributed counter is bounded by its total;
+* loads + stores never exceed committed instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Sequence
+
+from repro.uarch.core import CoreResult
+from repro.uarch.params import MachineParams
+
+__all__ = [
+    "ValidationError",
+    "check_result",
+    "validate_result",
+    "validate_runs",
+]
+
+#: ``(os_counter, total_counter)`` pairs: OS activity is a subset.
+_OS_SUBSET_PAIRS = (
+    ("os_instructions", "instructions"),
+    ("committing_cycles_os", "committing_cycles"),
+    ("stalled_cycles_os", "stalled_cycles"),
+    ("l1i_misses_os", "l1i_misses"),
+    ("l2i_misses_os", "l2i_misses"),
+    ("remote_dirty_hits_os", "remote_dirty_hits"),
+    ("offchip_bytes_os", "offchip_bytes"),
+)
+
+#: ``(part, whole)`` pairs: the part can never exceed the whole.
+_BOUNDED_PAIRS = (
+    ("memory_cycles", "cycles"),
+    ("superq_busy_cycles", "cycles"),
+    ("branch_mispredicts", "branches"),
+    ("l2_demand_hits", "l2_demand_accesses"),
+    ("l2i_misses", "l1i_misses"),
+)
+
+
+class ValidationError(ValueError):
+    """A result violated physical invariants; carries the diagnostics."""
+
+    def __init__(self, context: str, violations: Sequence[str]) -> None:
+        self.context = context
+        self.violations = list(violations)
+        super().__init__(f"{context}: " + "; ".join(self.violations))
+
+
+def check_result(result: CoreResult,
+                 params: MachineParams | None = None) -> list[str]:
+    """Every violated invariant in ``result``, as diagnostic strings.
+
+    An empty list means the result is physically plausible.  ``params``
+    enables the machine-dependent bounds (issue width, super-queue
+    size); without it only the machine-independent checks run.
+    """
+    violations: list[str] = []
+    for f in fields(CoreResult):
+        value = getattr(result, f.name)
+        if f.name == "per_thread_instructions":
+            if any(count < 0 for count in value):
+                violations.append(
+                    f"per_thread_instructions has a negative entry: {value}")
+            continue
+        if not isinstance(value, (int, float)):
+            violations.append(f"{f.name} is not numeric: {value!r}")
+            continue
+        if value != value:  # NaN poisons every downstream average
+            violations.append(f"{f.name} is NaN")
+        elif value < 0:
+            violations.append(f"{f.name} is negative ({value})")
+    if violations:
+        return violations  # arithmetic below assumes sane counters
+
+    if result.cycles <= 0:
+        violations.append(f"cycles must be positive ({result.cycles})")
+    if result.instructions <= 0:
+        violations.append(
+            f"instructions must be positive ({result.instructions})")
+    partition = result.committing_cycles + result.stalled_cycles
+    if partition != result.cycles:
+        violations.append(
+            "committing + stalled cycles must equal cycles "
+            f"({result.committing_cycles} + {result.stalled_cycles} "
+            f"!= {result.cycles})")
+    for part, whole in _BOUNDED_PAIRS:
+        if getattr(result, part) > getattr(result, whole):
+            violations.append(
+                f"{part} ({getattr(result, part)}) exceeds "
+                f"{whole} ({getattr(result, whole)})")
+    for os_name, total_name in _OS_SUBSET_PAIRS:
+        if getattr(result, os_name) > getattr(result, total_name):
+            violations.append(
+                f"{os_name} ({getattr(result, os_name)}) exceeds "
+                f"{total_name} ({getattr(result, total_name)})")
+    if result.loads + result.stores > result.instructions:
+        violations.append(
+            f"loads + stores ({result.loads} + {result.stores}) exceed "
+            f"instructions ({result.instructions})")
+
+    if params is not None and result.cycles > 0:
+        width = params.width * max(1, params.smt_threads)
+        if result.instructions > result.cycles * width:
+            violations.append(
+                f"IPC {result.instructions / result.cycles:.2f} exceeds "
+                f"the issue-width bound {width}")
+        if result.mlp > params.mshr_entries:
+            violations.append(
+                f"MLP {result.mlp:.2f} exceeds the super-queue capacity "
+                f"({params.mshr_entries} MSHRs)")
+    return violations
+
+
+def validate_result(result: CoreResult,
+                    params: MachineParams | None = None,
+                    context: str = "result") -> None:
+    """Raise :class:`ValidationError` if ``result`` is implausible."""
+    violations = check_result(result, params)
+    if violations:
+        raise ValidationError(context, violations)
+
+
+def validate_runs(runs: Sequence, context: str = "sweep") -> None:
+    """Validate every run in a cell's result list (see ``WorkloadRun``)."""
+    for run in runs:
+        validate_result(run.result, run.config.params,
+                        context=f"{context}: run {run.name!r}")

@@ -1,11 +1,21 @@
-"""Client-side resilience policy: backoff, timeouts, hedging.
+"""Shared resilience policy: backoff, timeouts, hedging.
 
-Latencies throughout are in *simulated work units* — the micro-ops a
-request's service path emitted — because that is the deterministic
-clock the trace-driven harness has before core timing runs.  A
-:class:`RetryPolicy` turns a failure into a bounded, monotone,
-jittered backoff schedule, decides when a slow request gets a hedged
-duplicate, and caps how many attempts a client makes before giving up.
+One :class:`RetryPolicy` type serves two consumers with different
+clocks:
+
+* the **simulated clients** (YCSB/Faban drivers, the apps' fault
+  handling) measure delays in *simulated work units* — the micro-ops a
+  request's service path emitted — and construct integer policies;
+* the **sweep supervisor** (:mod:`repro.core.supervise`) measures
+  delays in *wall-clock seconds* and constructs float policies via
+  :meth:`RetryPolicy.for_harness`.
+
+The policy is unit-agnostic: it turns a failure into a bounded,
+monotone, jittered backoff schedule, decides when a slow request gets a
+hedged duplicate, and caps how many attempts are made before giving
+up.  A policy whose ``base_delay`` and ``cap_delay`` are both ints
+yields integer delays (the clients' schedules are bit-identical to the
+historical behaviour); otherwise delays stay floats.
 """
 
 from __future__ import annotations
@@ -24,18 +34,20 @@ class RetryPolicy:
       from ``[1, 1 + jitter]`` (never below nominal, so schedules stay
       monotone non-decreasing after the cap clamp);
     * a request slower than ``hedge_after`` gets a hedged duplicate;
-      one slower than ``timeout`` counts as timed out and is retried.
+      one slower than ``timeout`` counts as timed out and is retried
+      (``None`` disables the deadline entirely).
     """
 
-    base_delay: int = 1_500
+    base_delay: float = 1_500
     multiplier: float = 2.0
     jitter: float = 0.25
     max_retries: int = 3
-    cap_delay: int = 12_000
-    timeout: int = 24_000
-    hedge_after: int = 9_000
+    cap_delay: float = 12_000
+    timeout: float | None = 24_000
+    hedge_after: float = 9_000
     #: Probability a retry of a dropped request fails again (the fault
-    #: window usually outlives one backoff delay).
+    #: window usually outlives one backoff delay).  Only meaningful for
+    #: the simulated clients; the supervisor reruns real work instead.
     retry_failure_p: float = 0.3
 
     def __post_init__(self) -> None:
@@ -47,36 +59,70 @@ class RetryPolicy:
             raise ValueError("jitter must be in [0, 1]")
         if self.max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
         if not 0.0 <= self.retry_failure_p < 1.0:
             raise ValueError("retry_failure_p must be in [0, 1)")
 
-    def schedule(self, rng: random.Random) -> list[int]:
+    @classmethod
+    def for_harness(cls, timeout: float | None = None, retries: int = 2,
+                    base_delay: float = 0.5,
+                    cap_delay: float = 8.0) -> "RetryPolicy":
+        """A wall-clock-seconds policy for the sweep supervisor.
+
+        ``timeout`` is the per-cell deadline in seconds (``None`` = no
+        deadline); ``retries`` bounds how often a failed, crashed, or
+        timed-out cell is re-executed.  Jitter is kept small — it only
+        de-synchronizes respawn storms, determinism of *results* never
+        depends on it.
+        """
+        return cls(
+            base_delay=float(base_delay),
+            multiplier=2.0,
+            jitter=0.1,
+            max_retries=retries,
+            cap_delay=float(max(base_delay, cap_delay)),
+            timeout=float(timeout) if timeout is not None else None,
+            hedge_after=float(max(base_delay, cap_delay)),
+            retry_failure_p=0.0,
+        )
+
+    def _quantize(self, value: float) -> float:
+        # Integer policies (the simulated clients) keep the historical
+        # truncation points so their schedules stay bit-identical.
+        if isinstance(self.base_delay, int) and isinstance(self.cap_delay, int):
+            return int(value)
+        return value
+
+    def schedule(self, rng: random.Random) -> list[float]:
         """The backoff delays for retries ``1..max_retries``.
 
         Guaranteed monotone non-decreasing, each delay within
         ``[nominal, nominal * (1 + jitter)]`` and never above
         ``cap_delay``.
         """
-        delays: list[int] = []
-        previous = 0
+        delays: list[float] = []
+        previous: float = 0
         for attempt in range(self.max_retries):
             nominal = min(self.cap_delay,
-                          int(self.base_delay * self.multiplier ** attempt))
+                          self._quantize(self.base_delay
+                                         * self.multiplier ** attempt))
             jittered = min(self.cap_delay,
-                           int(nominal * (1.0 + self.jitter * rng.random())))
+                           self._quantize(nominal
+                                          * (1.0 + self.jitter * rng.random())))
             value = max(previous, jittered)
             delays.append(value)
             previous = value
         return delays
 
-    def resolve_failure(self, rng: random.Random) -> tuple[int, bool, int]:
+    def resolve_failure(self, rng: random.Random) -> tuple[int, bool, float]:
         """Play out the retry loop for one failed request.
 
         Returns ``(retries, succeeded, backoff_spent)``: how many
         retries were issued, whether one of them succeeded, and the
-        total backoff delay spent waiting (simulated work units).
+        total backoff delay spent waiting.
         """
-        spent = 0
+        spent: float = 0
         for index, delay in enumerate(self.schedule(rng)):
             spent += delay
             if rng.random() >= self.retry_failure_p:

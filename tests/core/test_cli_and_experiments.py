@@ -46,6 +46,21 @@ class TestCliParsing:
         args, _, _ = _parse_config(["-h"])
         assert args == ["-h"]
 
+    def test_supervision_flags(self):
+        args, _config, options = _parse_config(
+            ["figure4", "--timeout", "2.5", "--retries", "0", "--resume"])
+        assert args == ["figure4"]
+        assert options.timeout == 2.5
+        assert options.retries == 0
+        assert options.resume
+
+    def test_supervision_defaults(self):
+        _args, _config, options = _parse_config(["figure4"])
+        assert options.timeout is None
+        assert options.retries == 2
+        assert not options.resume
+        assert not options.check
+
     @pytest.mark.parametrize("argv", [
         ["figure1", "--window"],            # missing value
         ["figure1", "--window", "abc"],     # non-integer value
@@ -55,6 +70,12 @@ class TestCliParsing:
         ["figure4", "--jobs"],
         ["figure4", "--jobs", "two"],
         ["figure4", "--jobs", "0"],         # must be >= 1
+        ["figure4", "--timeout"],           # missing value
+        ["figure4", "--timeout", "soon"],   # non-numeric value
+        ["figure4", "--timeout", "0"],      # must be positive
+        ["figure4", "--timeout", "-3"],
+        ["figure4", "--retries", "-1"],     # must be >= 0
+        ["figure4", "--retries", "1.5"],
         ["--bogus"],                        # unknown flag
         ["-x", "figure1"],
     ])
@@ -137,6 +158,52 @@ class TestCliCommands:
         with pytest.raises(SystemExit) as exc:
             main(["figure1", "--window", "many"])
         assert exc.value.code == 2
+
+
+class TestDoctorCommand:
+    @staticmethod
+    def _seed_store(tmp_path, monkeypatch, poison=False):
+        import json
+
+        from repro.core.runner import run_workload
+        from repro.core.store import ResultStore
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        store = ResultStore()
+        run = run_workload("sat-solver",
+                           RunConfig(window_uops=6_000, warm_uops=2_000))
+        store.put("a" * 64, [run])
+        if poison:
+            path = store.path_for("a" * 64)
+            document = json.loads(path.read_text())
+            document["runs"][0]["result"]["llc_misses"] = -9
+            path.write_text(json.dumps(document))
+        return store
+
+    def test_doctor_clean_store_exits_zero(self, tmp_path, monkeypatch,
+                                           capsys):
+        self._seed_store(tmp_path, monkeypatch)
+        assert main(["doctor"]) == 0
+        out = capsys.readouterr().out
+        assert "healthy:   1" in out
+
+    def test_doctor_quarantines_and_exits_one(self, tmp_path, monkeypatch,
+                                              capsys):
+        store = self._seed_store(tmp_path, monkeypatch, poison=True)
+        assert main(["doctor"]) == 1
+        out = capsys.readouterr().out
+        assert "quarantined: 1" in out
+        assert "negative" in out
+        assert not store.path_for("a" * 64).exists()
+        assert (store.corrupt_directory / f"{'a' * 64}.json").exists()
+
+    def test_doctor_check_mode_leaves_the_store_alone(
+            self, tmp_path, monkeypatch, capsys):
+        store = self._seed_store(tmp_path, monkeypatch, poison=True)
+        assert main(["doctor", "--check"]) == 1
+        out = capsys.readouterr().out
+        assert "defective: 1" in out
+        assert store.path_for("a" * 64).exists()
 
 
 class TestExperimentRegistry:

@@ -62,6 +62,55 @@ class TestSchedule:
             == policy.schedule(random.Random(7))
 
 
+class TestFloatPolicies:
+    """Harness policies measure wall-clock seconds, not work units:
+    their schedules must stay float instead of truncating to int."""
+
+    def test_for_harness_builds_a_seconds_policy(self):
+        policy = RetryPolicy.for_harness(timeout=2.5, retries=3,
+                                         base_delay=0.5, cap_delay=8.0)
+        assert policy.timeout == 2.5
+        assert policy.max_retries == 3
+        assert policy.base_delay == 0.5
+        assert policy.cap_delay == 8.0
+        assert policy.retry_failure_p == 0.0  # real faults, not simulated
+
+    def test_for_harness_defaults_to_no_deadline(self):
+        assert RetryPolicy.for_harness().timeout is None
+
+    def test_float_schedule_stays_float_and_capped(self):
+        policy = RetryPolicy.for_harness(retries=5, base_delay=0.5,
+                                         cap_delay=4.0)
+        for seed in range(10):
+            delays = policy.schedule(random.Random(seed))
+            assert all(isinstance(delay, float) for delay in delays)
+            assert delays == sorted(delays)
+            assert all(0.5 <= delay <= 4.0 for delay in delays)
+
+    def test_sub_unit_base_delay_survives(self):
+        # An int() truncation bug would collapse 0.05s backoff to zero.
+        policy = RetryPolicy.for_harness(retries=2, base_delay=0.05,
+                                         cap_delay=0.2)
+        delays = policy.schedule(random.Random(0))
+        assert all(delay >= 0.05 for delay in delays)
+
+    def test_int_schedules_remain_integers(self):
+        # Simulated-client policies must keep bit-identical int delays.
+        policy = RetryPolicy(base_delay=1_000, max_retries=4)
+        delays = policy.schedule(random.Random(5))
+        assert all(isinstance(delay, int) for delay in delays)
+
+    def test_cap_delay_floored_at_base_delay(self):
+        policy = RetryPolicy.for_harness(base_delay=2.0, cap_delay=0.5)
+        assert policy.cap_delay == 2.0
+
+    def test_rejects_non_positive_timeout(self):
+        with pytest.raises(ValueError, match="timeout"):
+            RetryPolicy(timeout=0)
+        with pytest.raises(ValueError, match="timeout"):
+            RetryPolicy.for_harness(timeout=-1.0)
+
+
 class TestResolveFailure:
     def test_bounds_and_accounting(self):
         policy = RetryPolicy(max_retries=3)
