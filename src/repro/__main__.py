@@ -13,6 +13,8 @@ Commands:
     all                       regenerate every table and figure
     cache [stats|clear]       inspect or empty the on-disk result store
     doctor [--check]          scan/validate the store; quarantine defects
+    lint [paths...]           static determinism & invariant linter
+                              (own flags; see `python -m repro lint -h`)
 
 Options:
 
@@ -246,6 +248,12 @@ def _doctor_command(options: CliOptions) -> int:
 def main(argv: list[str] | None = None) -> int:
     """Entry point: dispatch a CLI command; returns the exit status."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        # The linter owns its flag grammar (--format, --baseline, ...);
+        # dispatch before the figure-sweep flag parser can reject it.
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args, config, options = _parse_config(argv)
     if not args or args[0] in ("-h", "--help", "help"):
         print(__doc__)

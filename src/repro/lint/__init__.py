@@ -1,0 +1,43 @@
+"""repro-lint: an AST-based determinism & invariant linter.
+
+The simulator's methodology rests on counter measurements being
+reproducible and internally consistent.  Two whole bug classes have
+already cost PRs to chase at runtime:
+
+* **nondeterminism** — salted builtin ``hash()`` leaking into simulated
+  branch PCs, lock slots, Bloom probes, and shuffle partitions made a
+  parallel sweep diverge from the serial run byte-for-byte;
+* **counter-schema drift** — a counter incremented under a name the
+  schema never declared (or a part/whole invariant naming a counter
+  that no longer exists) silently corrupts figures, and the runtime
+  validator in :mod:`repro.core.validate` only fires on values a sweep
+  happens to produce.
+
+This package makes both classes impossible to *merge* instead of
+expensive to debug: a small static-analysis engine walks every module's
+AST, runs a simulator-specific rule set, honours inline
+``# repro-lint: disable=<rule> -- <reason>`` suppressions, and compares
+the surviving findings against a committed baseline of grandfathered
+entries.  ``python -m repro lint`` exits non-zero on any new finding,
+and CI runs it on every push.
+
+See ``docs/lint.md`` for the rule catalogue and workflows.
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import FileContext, LintEngine, run_lint
+from repro.lint.findings import Finding, SEVERITIES
+from repro.lint.rules import ALL_RULES, rule_names
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "SEVERITIES",
+    "rule_names",
+    "run_lint",
+]

@@ -1,0 +1,127 @@
+"""The committed baseline of grandfathered findings.
+
+A baseline entry acknowledges a pre-existing finding without fixing it
+yet: the linter stays green while the entry's file keeps the finding,
+and goes red the moment a *new* finding appears anywhere.  Every entry
+must carry a ``reason`` — an entry without one is reported as an error,
+exactly like a reasonless inline suppression.
+
+Entries match on ``(rule, path, message)`` — never on line numbers, so
+unrelated edits to a grandfathered file do not churn the file.  An
+entry whose finding has been fixed is *stale* and reported as an error
+too: baselines only ever shrink.
+
+The file itself is JSON (``lint-baseline.json`` at the repository
+root)::
+
+    {
+      "version": 1,
+      "entries": [
+        {"rule": "...", "path": "...", "message": "...", "reason": "..."}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.lint.findings import Finding
+
+FORMAT_VERSION = 1
+
+_REQUIRED_KEYS = ("rule", "path", "message", "reason")
+
+
+class BaselineError(ValueError):
+    """The baseline file is unreadable or structurally invalid."""
+
+
+@dataclass
+class Baseline:
+    """Grandfathered findings keyed by ``(rule, path, message)``."""
+
+    entries: dict[tuple[str, str, str], str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = pathlib.Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"unreadable baseline {path}: {exc}") from exc
+        if not isinstance(document, dict):
+            raise BaselineError(f"baseline {path} is not a JSON object")
+        version = document.get("version")
+        if version != FORMAT_VERSION:
+            raise BaselineError(
+                f"baseline {path} has version {version!r}; "
+                f"this linter reads version {FORMAT_VERSION}")
+        entries: dict[tuple[str, str, str], str] = {}
+        for index, entry in enumerate(document.get("entries", [])):
+            if (not isinstance(entry, dict)
+                    or any(not isinstance(entry.get(key), str)
+                           for key in _REQUIRED_KEYS)):
+                raise BaselineError(
+                    f"baseline {path} entry {index} must be an object "
+                    f"with string fields {', '.join(_REQUIRED_KEYS)}")
+            entries[(entry["rule"], entry["path"], entry["message"])] = (
+                entry["reason"])
+        return cls(entries)
+
+    def partition(self, findings: list[Finding],
+                  ) -> tuple[list[Finding], list[Finding]]:
+        """Split findings into ``(new, grandfathered)``."""
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for finding in findings:
+            (old if finding.baseline_key() in self.entries
+             else new).append(finding)
+        return new, old
+
+    def audit(self, findings: list[Finding]) -> list[Finding]:
+        """Problems with the baseline itself, as findings.
+
+        * an entry with an empty reason (grandfathering needs a *why*);
+        * a stale entry whose finding no longer occurs.
+        """
+        problems: list[Finding] = []
+        live = {finding.baseline_key() for finding in findings}
+        for key, reason in sorted(self.entries.items()):
+            rule, path, message = key
+            if not reason.strip():
+                problems.append(Finding(
+                    "bad-suppression", path, 0, 0, "error",
+                    f"baseline entry for [{rule}] {message!r} has no "
+                    "reason"))
+            if key not in live:
+                problems.append(Finding(
+                    "bad-suppression", path, 0, 0, "error",
+                    f"stale baseline entry: [{rule}] {message!r} no "
+                    "longer occurs — delete it (baselines only shrink)"))
+        return problems
+
+    @staticmethod
+    def write(path: str | pathlib.Path, findings: list[Finding],
+              reason: str = "grandfathered at baseline creation") -> int:
+        """Record ``findings`` as the new baseline; returns entry count.
+
+        Duplicate ``(rule, path, message)`` keys collapse into one
+        entry — they are indistinguishable to matching anyway.
+        """
+        seen: dict[tuple[str, str, str], dict] = {}
+        for finding in sorted(findings, key=Finding.sort_key):
+            key = finding.baseline_key()
+            if key not in seen:
+                seen[key] = {"rule": finding.rule, "path": finding.path,
+                             "message": finding.message, "reason": reason}
+        document = {"version": FORMAT_VERSION,
+                    "entries": list(seen.values())}
+        pathlib.Path(path).write_text(json.dumps(document, indent=1,
+                                                 sort_keys=True) + "\n")
+        return len(seen)

@@ -1,0 +1,133 @@
+"""``python -m repro lint`` — the CI gate.
+
+Usage::
+
+    python -m repro lint [paths...] [options]
+
+Options:
+
+    --format=text|json   output format                (default text)
+    --baseline           rewrite the baseline file from the current
+                         findings (grandfather everything, review the
+                         diff, then shrink it over time)
+    --baseline-file P    baseline location (default lint-baseline.json
+                         next to the repository's src/ directory)
+    --root P             lint root (default: the installed repro
+                         package directory); finding paths are
+                         relative to it
+    --list-rules         print the rule catalogue and exit
+
+Exit status: 0 when every finding is grandfathered (or none exist),
+1 on any new finding or baseline problem, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from repro.lint.baseline import Baseline, BaselineError
+from repro.lint.engine import run_lint
+from repro.lint.findings import format_findings, summarize
+from repro.lint.rules import ALL_RULES
+
+
+def default_root() -> pathlib.Path:
+    """The installed ``repro`` package directory."""
+    import repro
+
+    return pathlib.Path(repro.__file__).resolve().parent
+
+
+def default_baseline_file(root: pathlib.Path) -> pathlib.Path:
+    """``lint-baseline.json`` at the repository root (``src/../``)."""
+    if root.parent.name == "src":
+        return root.parent.parent / "lint-baseline.json"
+    return root / "lint-baseline.json"
+
+
+def _usage_error(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    print("try `python -m repro lint --help`", file=sys.stderr)
+    return 2
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the linter CLI and return its exit status (see module doc)."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    fmt = "text"
+    rewrite_baseline = False
+    root: pathlib.Path | None = None
+    baseline_file: pathlib.Path | None = None
+    paths: list[str] = []
+
+    it = iter(argv)
+    for arg in it:
+        if arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        if arg == "--list-rules":
+            for cls in ALL_RULES:
+                print(f"{cls.name:<18} {cls.severity:<8} "
+                      f"{cls.description}")
+            return 0
+        if arg == "--baseline":
+            rewrite_baseline = True
+        elif arg.startswith("--format"):
+            value = (arg.split("=", 1)[1] if "=" in arg
+                     else next(it, ""))
+            if value not in ("text", "json"):
+                return _usage_error(
+                    f"--format must be text or json, got {value!r}")
+            fmt = value
+        elif arg.startswith("--baseline-file"):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, "")
+            if not value:
+                return _usage_error("--baseline-file requires a path")
+            baseline_file = pathlib.Path(value)
+        elif arg.startswith("--root"):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, "")
+            if not value:
+                return _usage_error("--root requires a path")
+            root = pathlib.Path(value)
+        elif arg.startswith("-"):
+            return _usage_error(f"unknown flag {arg!r}")
+        else:
+            paths.append(arg)
+
+    root = root if root is not None else default_root()
+    if not root.exists():
+        return _usage_error(f"lint root {root} does not exist")
+    baseline_file = (baseline_file if baseline_file is not None
+                     else default_baseline_file(root))
+
+    findings = run_lint(root, paths or None)
+
+    if rewrite_baseline:
+        count = Baseline.write(baseline_file, findings)
+        print(f"baseline: recorded {count} grandfathered finding(s) "
+              f"in {baseline_file}")
+        print("review the diff and replace each entry's reason with "
+              "why it is safe to defer")
+        return 0
+
+    try:
+        baseline = Baseline.load(baseline_file)
+    except BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    new, grandfathered = baseline.partition(findings)
+    new.extend(baseline.audit(findings))
+    new.sort(key=lambda finding: finding.sort_key())
+
+    output = format_findings(new, fmt, baselined=grandfathered)
+    if output:
+        print(output)
+    if fmt == "text":
+        counts = summarize(new)
+        checked = "clean" if not new else ", ".join(
+            f"{count} {severity}(s)" for severity, count
+            in counts.items() if count)
+        print(f"repro-lint: {checked} "
+              f"({len(grandfathered)} baselined)")
+    return 1 if new else 0

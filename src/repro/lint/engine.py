@@ -1,0 +1,133 @@
+"""The lint engine: file discovery, parsing, rule dispatch, suppression.
+
+The engine is deliberately small: it turns every ``*.py`` file under a
+root into a :class:`FileContext` (one parse each), hands the contexts
+to the registered rules, and filters the resulting findings through the
+inline suppressions.  All simulator knowledge lives in the rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.lint.findings import Finding
+from repro.lint.rules import ALL_RULES, ProjectRule, Rule, rule_names
+from repro.lint.suppress import (Suppression, is_suppressed,
+                                 parse_suppressions)
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis",
+                        ".pytest_cache", ".benchmarks"})
+
+
+@dataclass
+class FileContext:
+    """Everything the rules need to know about one source file."""
+
+    path: str                       # relative to the lint root, posix
+    abspath: pathlib.Path
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    suppressions: dict[int, Suppression] = field(default_factory=dict)
+
+
+def _iter_python_files(root: pathlib.Path,
+                       paths: Sequence[pathlib.Path] | None,
+                       ) -> Iterable[pathlib.Path]:
+    targets = [root] if not paths else list(paths)
+    seen: set[pathlib.Path] = set()
+    for target in targets:
+        if target.is_file():
+            candidates: Iterable[pathlib.Path] = (target,)
+        else:
+            candidates = sorted(target.rglob("*.py"))
+        for candidate in candidates:
+            if candidate in seen:
+                continue
+            if any(part in _SKIP_DIRS or part.startswith(".")
+                   for part in candidate.parts):
+                continue
+            seen.add(candidate)
+            yield candidate
+
+
+def _relpath(path: pathlib.Path, root: pathlib.Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+class LintEngine:
+    """Run a rule set over a source tree."""
+
+    def __init__(self, rules: Sequence[type[Rule]] | None = None) -> None:
+        self.rules = [cls() for cls in (rules if rules is not None
+                                        else ALL_RULES)]
+        self.known_rules = (rule_names() if rules is None else
+                            frozenset(r.name for r in self.rules)
+                            | {"bad-suppression"})
+
+    # ------------------------------------------------------------------
+    def load(self, root: pathlib.Path,
+             paths: Sequence[pathlib.Path] | None = None,
+             ) -> tuple[list[FileContext], list[Finding]]:
+        """Parse every target file; syntax errors become findings."""
+        contexts: list[FileContext] = []
+        findings: list[Finding] = []
+        for abspath in _iter_python_files(root, paths):
+            relpath = _relpath(abspath, root)
+            try:
+                source = abspath.read_text(encoding="utf-8")
+                tree = ast.parse(source, filename=str(abspath))
+            except (OSError, SyntaxError, ValueError) as exc:
+                findings.append(Finding(
+                    "parse-error", relpath,
+                    getattr(exc, "lineno", None) or 1, 1, "error",
+                    f"cannot lint: {exc}"))
+                continue
+            lines = source.splitlines()
+            suppressions, bad = parse_suppressions(
+                relpath, lines, self.known_rules)
+            findings.extend(bad)
+            contexts.append(FileContext(relpath, abspath, source, lines,
+                                        tree, suppressions))
+        return contexts, findings
+
+    def run(self, root: str | pathlib.Path,
+            paths: Sequence[str | pathlib.Path] | None = None,
+            ) -> list[Finding]:
+        """All findings for the tree under ``root``, sorted and
+        suppression-filtered.
+
+        ``paths`` restricts *per-file* rules to a subset of files;
+        project-wide rules always see every parsed context so
+        cross-file checks stay sound.
+        """
+        root = pathlib.Path(root)
+        targets = ([pathlib.Path(p) for p in paths] if paths else None)
+        contexts, findings = self.load(root, targets)
+        for rule in self.rules:
+            if isinstance(rule, ProjectRule):
+                findings.extend(rule.check_project(contexts))
+            else:
+                for ctx in contexts:
+                    findings.extend(rule.check_file(ctx))
+        by_path = {ctx.path: ctx.suppressions for ctx in contexts}
+        kept = [
+            finding for finding in findings
+            if finding.rule == "bad-suppression"
+            or not is_suppressed(finding, by_path.get(finding.path, {}))
+        ]
+        return sorted(set(kept), key=Finding.sort_key)
+
+
+def run_lint(root: str | pathlib.Path,
+             paths: Sequence[str | pathlib.Path] | None = None,
+             rules: Sequence[type[Rule]] | None = None) -> list[Finding]:
+    """Convenience wrapper: lint ``root`` with the default rule set."""
+    return LintEngine(rules).run(root, paths)

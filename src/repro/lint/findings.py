@@ -1,0 +1,69 @@
+"""Finding: one diagnostic produced by one rule at one location."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable, Sequence
+
+#: Recognised severities, most severe first.  Severity is advisory —
+#: the exit status depends only on whether a finding is baselined.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    ``path`` is relative to the lint root and always uses ``/``
+    separators so findings (and the baseline file) are portable across
+    platforms and checkouts.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    severity: str
+    message: str
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used to match a committed baseline entry.
+
+        The line/column are deliberately excluded: edits elsewhere in a
+        file must not churn the baseline, only a change to the finding
+        itself (rule, file, or message) does.
+        """
+        return (self.rule, self.path, self.message)
+
+    def format_text(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.severity}: [{self.rule}] {self.message}")
+
+
+def format_findings(findings: Sequence[Finding], fmt: str = "text",
+                    baselined: Sequence[Finding] = ()) -> str:
+    """Render findings for the CLI in ``text`` or ``json`` format."""
+    if fmt == "json":
+        payload = {
+            "findings": [asdict(f) for f in findings],
+            "baselined": [asdict(f) for f in baselined],
+            "counts": summarize(findings),
+        }
+        return json.dumps(payload, indent=1, sort_keys=True)
+    lines = [f.format_text() for f in findings]
+    if baselined:
+        lines.append(f"({len(baselined)} grandfathered finding(s) "
+                     "suppressed by the baseline)")
+    return "\n".join(lines)
+
+
+def summarize(findings: Iterable[Finding]) -> dict[str, int]:
+    """Finding counts per severity (always includes every severity)."""
+    counts = {severity: 0 for severity in SEVERITIES}
+    for finding in findings:
+        counts[finding.severity] = counts.get(finding.severity, 0) + 1
+    return counts

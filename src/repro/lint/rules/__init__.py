@@ -1,0 +1,82 @@
+"""Rule base classes and the registry.
+
+A rule is a class with a unique ``name``, a ``severity``, a one-line
+``description``, and either :meth:`Rule.check_file` (runs once per
+file) or, for :class:`ProjectRule` subclasses,
+:meth:`ProjectRule.check_project` (runs once with every parsed file, for
+cross-file checks like the counter schema).  Register new rules by
+appending the class to ``ALL_RULES`` — ``docs/lint.md`` walks through
+adding one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Type
+
+from repro.lint.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.engine import FileContext
+
+
+class Rule:
+    """Base class: one diagnostic family, checked file by file."""
+
+    name: str = ""
+    severity: str = "error"
+    description: str = ""
+
+    def check_file(self, ctx: "FileContext") -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: "FileContext", node, message: str) -> Finding:
+        return Finding(self.name, ctx.path, getattr(node, "lineno", 1),
+                       getattr(node, "col_offset", 0) + 1, self.severity,
+                       message)
+
+
+class ProjectRule(Rule):
+    """A rule that needs every file at once (cross-file invariants)."""
+
+    def check_file(self, ctx: "FileContext") -> Iterable[Finding]:
+        return ()
+
+    def check_project(self,
+                      contexts: "List[FileContext]") -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+from repro.lint.rules.counters import CounterSchemaRule  # noqa: E402
+from repro.lint.rules.determinism import (  # noqa: E402
+    BuiltinHashRule,
+    OrderDependenceRule,
+    StableHashArgsRule,
+    UnseededRandomRule,
+    WallClockRule,
+)
+from repro.lint.rules.robustness import (  # noqa: E402
+    BlindExceptRule,
+    FloatEqualityRule,
+    MutableDefaultRule,
+)
+
+#: Every registered rule, in reporting-priority order.
+ALL_RULES: List[Type[Rule]] = [
+    BuiltinHashRule,
+    UnseededRandomRule,
+    WallClockRule,
+    OrderDependenceRule,
+    StableHashArgsRule,
+    BlindExceptRule,
+    MutableDefaultRule,
+    FloatEqualityRule,
+    CounterSchemaRule,
+]
+
+#: Pseudo-rules the engine itself emits; valid in suppressions/baseline.
+META_RULES = ("bad-suppression", "parse-error")
+
+
+def rule_names() -> frozenset[str]:
+    """All valid rule names, including meta rules, for suppressions."""
+    return frozenset(cls.name for cls in ALL_RULES) | frozenset(META_RULES)

@@ -1,0 +1,294 @@
+"""Determinism rules.
+
+Everything here guards one property: two interpreters — different
+PYTHONHASHSEED, different machine, different day — given the same
+config fingerprint must produce byte-identical results.  The sweep
+cache and the paper's tables both depend on it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.rules import Rule
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _is_int_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op,
+                                                    (ast.USub, ast.UAdd)):
+        node = node.operand
+    return (isinstance(node, ast.Constant)
+            and type(node.value) is int)
+
+
+class BuiltinHashRule(Rule):
+    """Builtin ``hash()`` outside ``machine/hashing.py``.
+
+    CPython salts str/bytes hashing per process; any simulated address,
+    bucket, or partition derived from it diverges across sweep workers.
+    Only the int fast path is unsalted, so a literal-int argument is
+    allowed; everything else must go through ``stable_hash``.
+    """
+
+    name = "builtin-hash"
+    severity = "error"
+    description = ("builtin hash() is salted per process; use "
+                   "machine.hashing.stable_hash")
+
+    def check_file(self, ctx) -> Iterable[Finding]:
+        if ctx.path.endswith("hashing.py"):
+            return
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "hash"):
+                if (len(node.args) == 1 and not node.keywords
+                        and _is_int_literal(node.args[0])):
+                    continue
+                yield self.finding(
+                    ctx, node,
+                    "builtin hash() is salted per process "
+                    "(PYTHONHASHSEED); derive simulated addresses and "
+                    "buckets from machine.hashing.stable_hash instead")
+
+
+#: Module-level ``random`` functions that share one hidden global RNG.
+_RANDOM_FUNCS = frozenset({
+    "betavariate", "binomialvariate", "choice", "choices", "expovariate",
+    "gammavariate", "gauss", "getrandbits", "getstate", "lognormvariate",
+    "normalvariate", "paretovariate", "randbytes", "randint", "random",
+    "randrange", "sample", "seed", "setstate", "shuffle", "triangular",
+    "uniform", "vonmisesvariate", "weibullvariate",
+})
+
+
+class UnseededRandomRule(Rule):
+    """Module-level ``random.*`` calls instead of seeded instances.
+
+    The module-level functions draw from one process-global generator:
+    any other component touching it (or a different import order)
+    perturbs every draw after it.  Simulation code must own a
+    ``random.Random(seed)`` instance derived from the run config.
+    """
+
+    name = "unseeded-random"
+    severity = "error"
+    description = ("module-level random.* uses the shared global RNG; "
+                   "use a seeded random.Random instance")
+
+    def check_file(self, ctx) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "random"
+                    and node.func.attr in _RANDOM_FUNCS):
+                yield self.finding(
+                    ctx, node,
+                    f"random.{node.func.attr}() draws from the shared "
+                    "process-global RNG; use a random.Random(seed) "
+                    "instance owned by the component")
+            elif (isinstance(node, ast.ImportFrom)
+                    and node.module == "random"):
+                bad = sorted(alias.name for alias in node.names
+                             if alias.name in _RANDOM_FUNCS)
+                if bad:
+                    yield self.finding(
+                        ctx, node,
+                        f"importing {', '.join(bad)} from random binds "
+                        "the shared global RNG; import random.Random "
+                        "and seed an instance")
+
+
+#: Dotted call suffixes that read wall-clock time or OS entropy.
+_WALLCLOCK_SUFFIXES = (
+    "time.time", "time.time_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+    "os.urandom", "uuid.uuid1", "uuid.uuid4",
+)
+_WALLCLOCK_FROM_IMPORTS = {
+    "time": frozenset({"time", "time_ns"}),
+    "os": frozenset({"urandom"}),
+    "uuid": frozenset({"uuid1", "uuid4"}),
+}
+
+
+class WallClockRule(Rule):
+    """Wall-clock time or OS entropy reaching simulated behaviour.
+
+    ``time.time()``, ``datetime.now()``, ``os.urandom()`` and friends
+    differ on every run by construction.  Simulated time is the cycle
+    counter; randomness comes from the seeded run config.  (Harness
+    code timing *real* work — deadlines, backoff sleeps — should use
+    ``time.monotonic``/``time.sleep``, which this rule does not flag.)
+    """
+
+    name = "wallclock"
+    severity = "error"
+    description = ("wall-clock time / OS entropy is nondeterministic by "
+                   "construction; use simulated cycles or the run seed")
+
+    def check_file(self, ctx) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if dotted is None:
+                    continue
+                if dotted.startswith("secrets."):
+                    yield self.finding(
+                        ctx, node,
+                        f"{dotted}() reads OS entropy; use the seeded "
+                        "run config instead")
+                    continue
+                for suffix in _WALLCLOCK_SUFFIXES:
+                    if dotted == suffix or dotted.endswith("." + suffix):
+                        yield self.finding(
+                            ctx, node,
+                            f"{dotted}() is wall-clock/OS entropy and "
+                            "differs on every run; simulated results "
+                            "must derive from cycles or the run seed")
+                        break
+            elif isinstance(node, ast.ImportFrom):
+                banned = _WALLCLOCK_FROM_IMPORTS.get(node.module or "")
+                if banned:
+                    bad = sorted(alias.name for alias in node.names
+                                 if alias.name in banned)
+                    if bad:
+                        yield self.finding(
+                            ctx, node,
+                            f"importing {', '.join(bad)} from "
+                            f"{node.module} pulls wall-clock/entropy "
+                            "into scope; call through the module so "
+                            "usage stays visible — or avoid it in sim "
+                            "paths entirely")
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+class OrderDependenceRule(Rule):
+    """Iteration order of sets leaking into results.
+
+    Set iteration order follows element hashes — salted for strings —
+    so any loop over a set that feeds a result, a trace, or serialized
+    output varies per process.  Sort first (``sorted(s)``) or keep a
+    dict, whose insertion order is deterministic.  ``dict.popitem()``
+    is flagged too: which item pops depends on insertion history that
+    callers rarely control (``OrderedDict.popitem(last=...)`` with an
+    explicit end is fine).
+    """
+
+    name = "order-dependence"
+    severity = "error"
+    description = ("set iteration order is hash-dependent; sort before "
+                   "order can reach results or serialized output")
+
+    _CONSUMERS = frozenset({"list", "tuple", "enumerate"})
+
+    def check_file(self, ctx) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter):
+                    yield self._order_finding(ctx, node.iter, "for loop")
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for generator in node.generators:
+                    if _is_set_expr(generator.iter):
+                        yield self._order_finding(ctx, generator.iter,
+                                                  "comprehension")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Name)
+                        and func.id in self._CONSUMERS
+                        and node.args and _is_set_expr(node.args[0])):
+                    yield self._order_finding(ctx, node,
+                                              f"{func.id}() call")
+                elif (isinstance(func, ast.Attribute)
+                        and func.attr == "join"
+                        and node.args and _is_set_expr(node.args[0])):
+                    yield self._order_finding(ctx, node, "join() call")
+                elif (isinstance(func, ast.Attribute)
+                        and func.attr == "popitem"
+                        and not node.args and not node.keywords):
+                    yield self.finding(
+                        ctx, node,
+                        "popitem() removes an order-dependent item; "
+                        "pop an explicit key, or pass last=True/False "
+                        "on an OrderedDict")
+
+    def _order_finding(self, ctx, node, where: str) -> Finding:
+        return self.finding(
+            ctx, node,
+            f"iterating a set in a {where} follows hash order, which "
+            "is salted per process for strings; wrap it in sorted() "
+            "before the order can reach results or serialized output")
+
+
+#: Argument node types whose repr is not a stable scalar.
+_UNSTABLE_ARG_TYPES = {
+    ast.List: "a list", ast.Dict: "a dict", ast.Set: "a set",
+    ast.ListComp: "a list comprehension", ast.SetComp:
+    "a set comprehension", ast.DictComp: "a dict comprehension",
+    ast.GeneratorExp: "a generator", ast.Lambda: "a lambda",
+}
+
+
+class StableHashArgsRule(Rule):
+    """``stable_hash`` fed arguments it is defined to reject.
+
+    ``stable_hash`` folds each part's ``repr`` — that is only stable
+    for int/str/bytes/float/bool/None and tuples thereof (the types the
+    runtime check in ``machine/hashing.py`` accepts).  A default
+    ``object.__repr__`` embeds a memory address; generators and lambdas
+    do too, and set reprs are hash-ordered.  The runtime raises on the
+    obvious cases; this rule catches them before they run.
+    """
+
+    name = "stable-hash-args"
+    severity = "error"
+    description = ("stable_hash arguments must be scalars or tuples of "
+                   "scalars — container/object reprs are not stable")
+
+    def check_file(self, ctx) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (func.id if isinstance(func, ast.Name)
+                    else func.attr if isinstance(func, ast.Attribute)
+                    else None)
+            if name != "stable_hash":
+                continue
+            for arg in node.args:
+                label = _UNSTABLE_ARG_TYPES.get(type(arg))
+                if (label is None and isinstance(arg, ast.Call)
+                        and isinstance(arg.func, ast.Name)
+                        and arg.func.id == "object"):
+                    label = "a plain object()"
+                if label is not None:
+                    yield self.finding(
+                        ctx, arg,
+                        f"stable_hash is fed {label}: its repr is not "
+                        "a stable scalar (stable_hash accepts "
+                        "int/str/bytes/float/bool/None and tuples "
+                        "thereof); hash a sorted tuple of scalars "
+                        "instead")

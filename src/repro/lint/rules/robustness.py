@@ -1,0 +1,150 @@
+"""Robustness rules.
+
+These catch the failure-masking idioms that turned real bugs into
+silent data corruption during the fault-injection and supervision work:
+swallowed exceptions in worker/store paths, mutable defaults shared
+across calls, and exact float comparison in validation code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.rules import Rule
+
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(node: ast.expr | None) -> bool:
+    if node is None:
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD_EXCEPTIONS
+    if isinstance(node, ast.Tuple):
+        return any(_is_broad(element) for element in node.elts)
+    return False
+
+
+def _swallows(body: list[ast.stmt]) -> bool:
+    """True if the handler body does nothing with the failure."""
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)):
+            continue  # docstring / ellipsis
+        return False
+    return True
+
+
+class BlindExceptRule(Rule):
+    """Bare ``except:`` anywhere; broad handlers that swallow.
+
+    A bare ``except:`` catches ``KeyboardInterrupt`` and ``SystemExit``
+    — a supervised worker becomes unkillable and a crash-safe store
+    write can half-apply.  ``except Exception: pass`` is the quieter
+    version: the failure is simply erased.  Catch the narrowest type
+    that can actually occur, and always *do* something — re-raise,
+    record, or substitute an explicit sentinel.
+    """
+
+    name = "blind-except"
+    severity = "error"
+    description = ("bare/blind except hides failures; catch narrow "
+                   "types and handle or re-raise")
+
+    def check_file(self, ctx) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx, node,
+                    "bare except catches KeyboardInterrupt/SystemExit "
+                    "— workers become unkillable; name the exception "
+                    "types this code can actually recover from")
+            elif _is_broad(node.type) and _swallows(node.body):
+                yield self.finding(
+                    ctx, node,
+                    "broad except that swallows the failure; handle "
+                    "it (log, retry, sentinel) or catch a narrower "
+                    "type")
+
+
+_MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "bytearray", "defaultdict", "deque",
+    "Counter", "OrderedDict",
+})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CALLS)
+
+
+class MutableDefaultRule(Rule):
+    """Mutable default argument values.
+
+    Defaults evaluate once at ``def`` time, so a ``[]``/``{}`` default
+    is shared by every call — state leaks across sweep cells and across
+    the tests that were supposed to catch it.  Default to ``None`` and
+    allocate inside the function.
+    """
+
+    name = "mutable-default"
+    severity = "error"
+    description = ("mutable default arguments are shared across calls; "
+                   "default to None and allocate inside")
+
+    def check_file(self, ctx) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        ctx, default,
+                        "mutable default evaluates once at def time "
+                        "and is shared by every call; default to None "
+                        "and allocate inside the function")
+
+
+class FloatEqualityRule(Rule):
+    """Exact equality against float literals.
+
+    ``x == 0.95`` silently depends on accumulation order; validation
+    code comparing derived metrics this way passes or fails by luck.
+    Compare with a tolerance (``math.isclose``) or restate the check
+    over the integer counters the float was derived from.
+    """
+
+    name = "float-eq"
+    severity = "warning"
+    description = ("exact float equality is order-of-accumulation "
+                   "dependent; use a tolerance or integer counters")
+
+    def check_file(self, ctx) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq))
+                       for op in node.ops):
+                continue
+            for side in [node.left, *node.comparators]:
+                if (isinstance(side, ast.Constant)
+                        and type(side.value) is float):
+                    yield self.finding(
+                        ctx, node,
+                        f"exact comparison against float literal "
+                        f"{side.value!r}; use math.isclose or compare "
+                        "the integer counters it derives from")
+                    break

@@ -1,0 +1,85 @@
+"""Inline suppression comments.
+
+A finding is silenced by a comment *on the line it is reported at*::
+
+    addr = hash(key) % n  # repro-lint: disable=builtin-hash -- int keys only
+
+Several rules may be disabled at once (``disable=rule-a,rule-b``).  The
+``-- reason`` part is mandatory: a suppression that does not say *why*
+is itself a lint error (rule ``bad-suppression``), as is one naming a
+rule the engine does not know — both would otherwise rot silently.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.lint.findings import Finding
+
+#: ``# repro-lint: disable=<rules>[ -- <reason>]`` anywhere in a line.
+_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\-]*)"
+    r"(?:\s*--\s*(.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed disable comment."""
+
+    line: int
+    rules: frozenset[str]
+    reason: str
+
+
+def parse_suppressions(path: str, lines: list[str],
+                       known_rules: frozenset[str],
+                       ) -> tuple[dict[int, Suppression], list[Finding]]:
+    """Scan source ``lines`` for disable comments.
+
+    Returns ``(by_line, findings)`` where ``by_line`` maps a 1-based
+    line number to its suppression and ``findings`` carries the
+    ``bad-suppression`` errors for malformed comments.
+    """
+    by_line: dict[int, Suppression] = {}
+    findings: list[Finding] = []
+    for lineno, text in enumerate(lines, start=1):
+        match = _PATTERN.search(text)
+        if match is None:
+            continue
+        col = match.start() + 1
+        rules = frozenset(
+            name.strip() for name in match.group(1).split(",")
+            if name.strip()
+        )
+        reason = (match.group(2) or "").strip()
+        if not rules:
+            findings.append(Finding(
+                "bad-suppression", path, lineno, col, "error",
+                "suppression names no rules "
+                "(`# repro-lint: disable=<rule> -- <reason>`)"))
+            continue
+        unknown = sorted(rules - known_rules)
+        if unknown:
+            findings.append(Finding(
+                "bad-suppression", path, lineno, col, "error",
+                f"suppression names unknown rule(s): {', '.join(unknown)}"))
+        if not reason:
+            findings.append(Finding(
+                "bad-suppression", path, lineno, col, "error",
+                "suppression has no reason — append `-- <why this is "
+                "safe>`; reasonless suppressions rot"))
+            # A reasonless suppression still suppresses: the author's
+            # intent is clear, and the bad-suppression error already
+            # forces a fix — double-reporting the original finding
+            # would only obscure it.
+        by_line[lineno] = Suppression(lineno, rules, reason)
+    return by_line, findings
+
+
+def is_suppressed(finding: Finding,
+                  by_line: dict[int, Suppression]) -> bool:
+    """True if ``finding``'s line carries a disable for its rule."""
+    suppression = by_line.get(finding.line)
+    return suppression is not None and finding.rule in suppression.rules

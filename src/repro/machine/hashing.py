@@ -15,6 +15,34 @@ from __future__ import annotations
 
 import zlib
 
+#: Types whose ``repr`` is value-determined and process-independent.
+#: (``bool`` is an ``int`` subclass; ``None`` is handled explicitly.)
+_SCALAR_TYPES = (int, float, str, bytes)
+
+
+def _check_part(part: object) -> None:
+    """Reject parts whose ``repr`` is not a stable pure function of
+    their value.
+
+    The default ``object.__repr__`` embeds a memory address
+    (``<object object at 0x7f...>``), which differs on every run and
+    reintroduces exactly the cross-process divergence ``stable_hash``
+    exists to prevent — but *silently*, as a valid-looking hash.  Only
+    int/str/bytes/float/bool/None and (recursively) tuples thereof are
+    accepted; anything else raises ``TypeError`` at the call site,
+    where the bad key is still in hand.
+    """
+    if part is None or isinstance(part, _SCALAR_TYPES):
+        return
+    if isinstance(part, tuple):
+        for item in part:
+            _check_part(item)
+        return
+    raise TypeError(
+        f"stable_hash part {part!r} has type {type(part).__name__}, "
+        "whose repr is not guaranteed stable across processes; pass "
+        "int/str/bytes/float/bool/None or tuples thereof")
+
 
 def stable_hash(*parts: object) -> int:
     """A deterministic non-negative hash of ``parts``, salt-free.
@@ -29,10 +57,15 @@ def stable_hash(*parts: object) -> int:
     folded through CRC-32 of its ``repr``, which is stable across
     processes.  CRC-32 is linear, so a final multiplicative mix (Knuth)
     decorrelates the low bits for modulo bucket selection.
+
+    Parts are restricted to value-repr types (see :func:`_check_part`);
+    an ``object()`` whose repr embeds ``id()`` raises ``TypeError``
+    instead of silently hashing its memory address.
     """
     if len(parts) == 1 and type(parts[0]) is int:
         return hash(parts[0]) & 0x7FFFFFFFFFFFFFFF
     h = 0
     for part in parts:
+        _check_part(part)
         h = zlib.crc32(repr(part).encode("utf-8", "surrogatepass"), h)
     return (h * 2654435761) & 0xFFFFFFFF

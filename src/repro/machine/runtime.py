@@ -26,6 +26,12 @@ from repro.uarch.uop import MicroOp, OpKind
 
 _LINE = 64
 
+#: Memoized ``stable_hash(fn.name, site) & 0x7FFFFFFF`` per static
+#: branch site.  stable_hash is a pure function, so sharing the cache
+#: across runs and workloads cannot change any result; the key space
+#: is bounded by the static sites named in the workload sources.
+_SITE_HASHES: dict[tuple[str, str], int] = {}
+
 
 class Runtime:
     """Micro-op emitter for one software thread."""
@@ -172,7 +178,14 @@ class Runtime:
         """
         fn = self._fn
         if site is not None:
-            site_hash = stable_hash(fn.name, site) & 0x7FFFFFFF
+            # One stable_hash per *static* site, not per execution: the
+            # hash is a pure function of (fn, site) and this is the
+            # hottest tracing path (every data-dependent branch).
+            key = (fn.name, site)
+            site_hash = _SITE_HASHES.get(key)
+            if site_hash is None:
+                site_hash = _SITE_HASHES[key] = (
+                    stable_hash(fn.name, site) & 0x7FFFFFFF)
             pc = fn.base + (site_hash % (fn.size >> 2)) * 4
             target = fn.base + ((site_hash * 40503) % (fn.size >> 6)) * _LINE
             if not taken:

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.uarch.branch import BranchPredictor
-from repro.uarch.counters import CounterSet
+from repro.uarch.counters import COUNTER_NAMES, CounterSet
 from repro.uarch.hierarchy import MemoryHierarchy
 from repro.uarch.params import MachineParams
 from repro.uarch.uop import MicroOp, OpKind
@@ -106,36 +106,7 @@ class CoreResult:
 
     def to_counters(self) -> CounterSet:
         c = CounterSet()
-        for name in (
-            "cycles",
-            "instructions",
-            "os_instructions",
-            "committing_cycles",
-            "committing_cycles_os",
-            "stalled_cycles",
-            "stalled_cycles_os",
-            "memory_cycles",
-            "superq_busy_cycles",
-            "superq_requests",
-            "mlp",
-            "loads",
-            "stores",
-            "branches",
-            "branch_mispredicts",
-            "l1i_misses",
-            "l1i_misses_os",
-            "l2i_misses",
-            "l2i_misses_os",
-            "l1d_misses",
-            "l2_demand_hits",
-            "l2_demand_accesses",
-            "llc_misses",
-            "llc_data_refs",
-            "remote_dirty_hits",
-            "remote_dirty_hits_os",
-            "offchip_bytes",
-            "offchip_bytes_os",
-        ):
+        for name in COUNTER_NAMES:
             c[name] = float(getattr(self, name))
         return c
 

@@ -132,7 +132,11 @@ class TestCrashIsolation:
     def test_cell_exceeding_its_deadline_is_killed_and_retried(
             self, flag_dir, serial_reference):
         (flag_dir / f"hang-{NAMES[0]}").touch()
-        policy = RetryPolicy.for_harness(timeout=1.5, retries=2,
+        # The deadline clock starts at pool.submit, so it absorbs pool
+        # fork time and CPU contention from sibling cells; on a 1-CPU
+        # runner the three WEE cells alone cost ~1.5s of CPU.  Keep the
+        # deadline far below the 120s hang but comfortably above that.
+        policy = RetryPolicy.for_harness(timeout=5.0, retries=2,
                                          base_delay=0.05, cap_delay=0.2)
         engine = SweepEngine(jobs=2, use_cache=False, retry=policy,
                              worker=_hangs_once_worker)

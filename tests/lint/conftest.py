@@ -1,0 +1,81 @@
+"""Shared fixture tree for the linter tests.
+
+``fixture_tree`` builds a miniature simulator source tree — hashing
+helper, a consumer module, counter declarations, a ``CoreResult``, and
+a validator pairs table — that lints *clean*.  Tests then mutate one
+file to reintroduce a bug class and assert the linter catches it, so
+every regression test runs against a fixture tree rather than the live
+repository.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import textwrap
+
+import pytest
+
+CLEAN_FILES: dict[str, str] = {
+    "machine/hashing.py": """
+        import zlib
+
+        def stable_hash(*parts):
+            h = 0
+            for part in parts:
+                h = zlib.crc32(repr(part).encode(), h)
+            return (h * 2654435761) & 0xFFFFFFFF
+        """,
+    "machine/structures.py": """
+        from fixture.machine.hashing import stable_hash
+
+        def bucket(key, nbuckets):
+            return stable_hash(key) % nbuckets
+        """,
+    "uarch/counters.py": """
+        COUNTER_NAMES = (
+            "cycles",
+            "instructions",
+            "l1i_misses",
+        )
+        """,
+    "uarch/core.py": """
+        from dataclasses import dataclass, field
+
+        @dataclass
+        class CoreResult:
+            cycles: int = 0
+            instructions: int = 0
+            l1i_misses: int = 0
+            per_thread_instructions: list = field(default_factory=list)
+
+        def run(window):
+            result = CoreResult()
+            for _ in range(window):
+                result.instructions += 1
+                result.cycles += 1
+            return result
+        """,
+    "core/validate.py": """
+        _BOUNDED_PAIRS = (
+            ("l1i_misses", "instructions"),
+        )
+
+        def check(result):
+            return [pair for pair in _BOUNDED_PAIRS
+                    if getattr(result, pair[0]) > getattr(result, pair[1])]
+        """,
+}
+
+
+def write_tree(root: pathlib.Path, files: dict[str, str]) -> pathlib.Path:
+    for relpath, source in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source).lstrip())
+    return root
+
+
+@pytest.fixture
+def fixture_tree(tmp_path: pathlib.Path) -> pathlib.Path:
+    """A miniature simulator tree that lints clean."""
+    return write_tree(tmp_path / "fixture", CLEAN_FILES)

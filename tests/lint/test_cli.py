@@ -1,0 +1,99 @@
+"""CLI surface: flags, formats, exit statuses, repo-level dispatch."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.__main__ import main as repro_main
+from repro.lint.cli import main as lint_main
+
+
+def write_bad_tree(tmp_path):
+    root = tmp_path / "tree" / "uarch"
+    root.mkdir(parents=True)
+    (root / "m.py").write_text(textwrap.dedent("""
+        def bucket(key, n):
+            return hash(key) % n
+        """).lstrip())
+    return tmp_path / "tree"
+
+
+def test_exit_zero_on_clean_tree(tmp_path, capsys):
+    root = tmp_path / "tree"
+    root.mkdir()
+    (root / "ok.py").write_text("x = 1\n")
+    assert lint_main([f"--root={root}",
+                      f"--baseline-file={tmp_path}/b.json"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_exit_one_on_findings(tmp_path, capsys):
+    root = write_bad_tree(tmp_path)
+    assert lint_main([f"--root={root}",
+                      f"--baseline-file={tmp_path}/b.json"]) == 1
+    assert "builtin-hash" in capsys.readouterr().out
+
+
+def test_json_format(tmp_path, capsys):
+    root = write_bad_tree(tmp_path)
+    lint_main([f"--root={root}", f"--baseline-file={tmp_path}/b.json",
+               "--format=json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"][0]["rule"] == "builtin-hash"
+    assert payload["counts"]["error"] == 1
+
+
+def test_usage_errors_exit_two(tmp_path):
+    assert lint_main(["--format=yaml"]) == 2
+    assert lint_main(["--no-such-flag"]) == 2
+    assert lint_main([f"--root={tmp_path}/missing"]) == 2
+    assert lint_main(["--baseline-file"]) == 2
+
+
+def test_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("builtin-hash", "unseeded-random", "wallclock",
+                 "order-dependence", "stable-hash-args", "blind-except",
+                 "mutable-default", "float-eq", "counter-schema"):
+        assert rule in out
+
+
+def test_help(capsys):
+    assert lint_main(["--help"]) == 0
+    assert "Exit status" in capsys.readouterr().out
+
+
+def test_paths_restrict_per_file_rules(tmp_path, capsys):
+    root = write_bad_tree(tmp_path)
+    (root / "uarch" / "clean.py").write_text("x = 1\n")
+    status = lint_main([f"--root={root}",
+                        f"--baseline-file={tmp_path}/b.json",
+                        str(root / "uarch" / "clean.py")])
+    assert status == 0
+    capsys.readouterr()
+
+
+def test_repro_main_dispatches_lint(tmp_path, capsys):
+    root = write_bad_tree(tmp_path)
+    status = repro_main(["lint", f"--root={root}",
+                         f"--baseline-file={tmp_path}/b.json"])
+    assert status == 1
+    assert "builtin-hash" in capsys.readouterr().out
+
+
+def test_baseline_rewrite_and_shrink(tmp_path, capsys):
+    root = write_bad_tree(tmp_path)
+    baseline = tmp_path / "b.json"
+    assert lint_main([f"--root={root}", f"--baseline-file={baseline}",
+                      "--baseline"]) == 0
+    document = json.loads(baseline.read_text())
+    assert len(document["entries"]) == 1
+    capsys.readouterr()
+    # Fixing the finding makes the entry stale: the gate goes red until
+    # the baseline shrinks.
+    (root / "uarch" / "m.py").write_text("x = 1\n")
+    assert lint_main([f"--root={root}",
+                      f"--baseline-file={baseline}"]) == 1
+    assert "stale baseline entry" in capsys.readouterr().out

@@ -1,0 +1,167 @@
+"""Engine mechanics: suppressions, baseline, parse errors, output."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint.baseline import Baseline, BaselineError
+from repro.lint.engine import run_lint
+from repro.lint.findings import Finding, format_findings, summarize
+
+
+def write(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source).lstrip())
+    return path
+
+
+# ------------------------------------------------------- suppressions
+def test_suppression_with_reason_silences_finding(tmp_path):
+    write(tmp_path, "uarch/m.py", """
+        def bucket(key, n):
+            return hash(key) % n  # repro-lint: disable=builtin-hash -- key is always an int pc
+        """)
+    assert run_lint(tmp_path) == []
+
+
+def test_suppression_only_covers_named_rule(tmp_path):
+    write(tmp_path, "uarch/m.py", """
+        def bucket(key, n):
+            return hash(key) % n  # repro-lint: disable=wallclock -- names the wrong rule
+        """)
+    findings = run_lint(tmp_path)
+    assert [f.rule for f in findings] == ["builtin-hash"]
+
+
+def test_suppression_without_reason_is_error(tmp_path):
+    write(tmp_path, "uarch/m.py", """
+        def bucket(key, n):
+            return hash(key) % n  # repro-lint: disable=builtin-hash
+        """)
+    findings = run_lint(tmp_path)
+    assert [f.rule for f in findings] == ["bad-suppression"]
+    assert "no reason" in findings[0].message
+
+
+def test_suppression_of_unknown_rule_is_error(tmp_path):
+    write(tmp_path, "uarch/m.py", """
+        X = 1  # repro-lint: disable=no-such-rule -- because
+        """)
+    findings = run_lint(tmp_path)
+    assert [f.rule for f in findings] == ["bad-suppression"]
+    assert "unknown rule" in findings[0].message
+
+
+def test_multi_rule_suppression(tmp_path):
+    write(tmp_path, "uarch/m.py", """
+        def f(key, n, seen=[]):  # repro-lint: disable=mutable-default -- shared scratch is intended here
+            return hash(key) % n  # repro-lint: disable=builtin-hash,order-dependence -- int-only keys
+        """)
+    assert run_lint(tmp_path) == []
+
+
+# ------------------------------------------------------- parse errors
+def test_syntax_error_becomes_finding(tmp_path):
+    write(tmp_path, "uarch/broken.py", """
+        def f(:
+        """)
+    findings = run_lint(tmp_path)
+    assert [f.rule for f in findings] == ["parse-error"]
+    assert findings[0].path == "uarch/broken.py"
+
+
+def test_skips_hidden_and_cache_dirs(tmp_path):
+    write(tmp_path, "__pycache__/junk.py", "x = hash('a')\n")
+    write(tmp_path, ".venv/junk.py", "x = hash('a')\n")
+    assert run_lint(tmp_path) == []
+
+
+# ----------------------------------------------------------- baseline
+def _finding(rule="builtin-hash", path="uarch/m.py", message="msg"):
+    return Finding(rule, path, 3, 1, "error", message)
+
+
+def test_baseline_round_trip(tmp_path):
+    path = tmp_path / "baseline.json"
+    Baseline.write(path, [_finding()], reason="legacy bucketing")
+    baseline = Baseline.load(path)
+    new, old = baseline.partition([_finding(), _finding(message="other")])
+    assert [f.message for f in new] == ["other"]
+    assert [f.message for f in old] == ["msg"]
+
+
+def test_baseline_matching_ignores_line_numbers(tmp_path):
+    path = tmp_path / "baseline.json"
+    Baseline.write(path, [_finding()], reason="legacy")
+    moved = Finding("builtin-hash", "uarch/m.py", 99, 5, "error", "msg")
+    new, old = Baseline.load(path).partition([moved])
+    assert new == [] and old == [moved]
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    baseline = Baseline.load(tmp_path / "nope.json")
+    new, old = baseline.partition([_finding()])
+    assert old == [] and len(new) == 1
+
+
+def test_stale_baseline_entry_is_error(tmp_path):
+    path = tmp_path / "baseline.json"
+    Baseline.write(path, [_finding()], reason="legacy")
+    problems = Baseline.load(path).audit([])
+    assert len(problems) == 1
+    assert "stale baseline entry" in problems[0].message
+
+
+def test_reasonless_baseline_entry_is_error(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({
+        "version": 1,
+        "entries": [{"rule": "builtin-hash", "path": "uarch/m.py",
+                     "message": "msg", "reason": "  "}],
+    }))
+    problems = Baseline.load(path).audit([_finding()])
+    assert len(problems) == 1
+    assert "no reason" in problems[0].message
+
+
+@pytest.mark.parametrize("document", [
+    "[]",
+    '{"version": 99, "entries": []}',
+    '{"version": 1, "entries": [{"rule": "r"}]}',
+    "not json",
+])
+def test_malformed_baseline_raises(tmp_path, document):
+    path = tmp_path / "baseline.json"
+    path.write_text(document)
+    with pytest.raises(BaselineError):
+        Baseline.load(path)
+
+
+# ------------------------------------------------------------- output
+def test_json_format_is_machine_readable():
+    findings = [_finding()]
+    payload = json.loads(format_findings(findings, "json"))
+    assert payload["findings"][0]["rule"] == "builtin-hash"
+    assert payload["counts"]["error"] == 1
+
+
+def test_text_format_names_rule_and_location():
+    text = format_findings([_finding()], "text")
+    assert text == "uarch/m.py:3:1: error: [builtin-hash] msg"
+
+
+def test_summarize_counts_by_severity():
+    counts = summarize([_finding(),
+                        Finding("float-eq", "p", 1, 1, "warning", "m")])
+    assert counts == {"error": 1, "warning": 1}
+
+
+def test_findings_sorted_and_deduplicated(tmp_path):
+    write(tmp_path, "uarch/b.py", "x = hash('a')\n")
+    write(tmp_path, "uarch/a.py", "y = hash('b')\n")
+    findings = run_lint(tmp_path)
+    assert [f.path for f in findings] == ["uarch/a.py", "uarch/b.py"]

@@ -1,0 +1,148 @@
+"""Regression fixtures for the bug classes the linter exists to stop.
+
+Each test lints a mutated copy of the clean fixture tree (never the
+live repository), mirroring how a bad change would land in review.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import run_lint
+
+
+def mutate(tree, relpath, source):
+    (tree / relpath).write_text(textwrap.dedent(source).lstrip())
+
+
+def test_clean_fixture_tree_lints_clean(fixture_tree):
+    assert run_lint(fixture_tree) == []
+
+
+def test_clean_fixture_tree_exits_zero(fixture_tree, tmp_path):
+    status = lint_main([f"--root={fixture_tree}",
+                        f"--baseline-file={tmp_path}/baseline.json"])
+    assert status == 0
+
+
+def test_builtin_hash_reintroduction_fails_lint(fixture_tree, tmp_path,
+                                                capsys):
+    # The PR-2 regression: a consumer drops the stable_hash import and
+    # goes back to salted builtin hash() on a string key.
+    mutate(fixture_tree, "machine/structures.py", """
+        def bucket(key, nbuckets):
+            return hash(str(key)) % nbuckets
+        """)
+    status = lint_main([f"--root={fixture_tree}",
+                        f"--baseline-file={tmp_path}/baseline.json"])
+    assert status == 1
+    out = capsys.readouterr().out
+    assert "builtin-hash" in out
+    assert "machine/structures.py" in out
+
+
+def test_undeclared_counter_increment_is_flagged(fixture_tree):
+    mutate(fixture_tree, "uarch/core.py", """
+        from dataclasses import dataclass
+
+        @dataclass
+        class CoreResult:
+            cycles: int = 0
+            instructions: int = 0
+            l1i_misses: int = 0
+
+        def run(window):
+            result = CoreResult()
+            result.instructions += 1
+            result.l1i_missess += 1
+            return result
+        """)
+    findings = run_lint(fixture_tree)
+    assert [f.rule for f in findings] == ["counter-schema"]
+    assert "l1i_missess" in findings[0].message
+    assert findings[0].path == "uarch/core.py"
+
+
+def test_part_whole_pair_violation_is_flagged(fixture_tree):
+    mutate(fixture_tree, "core/validate.py", """
+        _BOUNDED_PAIRS = (
+            ("l1i_misses", "instructions"),
+            ("branch_mispredicts", "branches"),
+        )
+        """)
+    findings = run_lint(fixture_tree)
+    assert {f.rule for f in findings} == {"counter-schema"}
+    messages = " ".join(f.message for f in findings)
+    assert "branch_mispredicts" in messages and "branches" in messages
+
+
+def test_self_pair_is_flagged(fixture_tree):
+    mutate(fixture_tree, "core/validate.py", """
+        _BOUNDED_PAIRS = (
+            ("cycles", "cycles"),
+        )
+        """)
+    findings = run_lint(fixture_tree)
+    assert [f.rule for f in findings] == ["counter-schema"]
+    assert "itself" in findings[0].message
+
+
+def test_undeclared_core_result_field_is_flagged(fixture_tree):
+    mutate(fixture_tree, "uarch/counters.py", """
+        COUNTER_NAMES = (
+            "cycles",
+            "instructions",
+        )
+        """)
+    findings = run_lint(fixture_tree)
+    assert [f.rule for f in findings] == ["counter-schema"]
+    assert "l1i_misses" in findings[0].message
+
+
+def test_declared_name_without_field_is_flagged(fixture_tree):
+    mutate(fixture_tree, "uarch/counters.py", """
+        COUNTER_NAMES = (
+            "cycles",
+            "instructions",
+            "l1i_misses",
+            "ghost_counter",
+        )
+        """)
+    findings = run_lint(fixture_tree)
+    assert [f.rule for f in findings] == ["counter-schema"]
+    assert "ghost_counter" in findings[0].message
+
+
+def test_annotated_core_result_argument_is_tracked(fixture_tree):
+    mutate(fixture_tree, "machine/snapshot.py", """
+        def apply_delta(result: "CoreResult"):
+            result.offchip_bytez = 1
+        """)
+    findings = run_lint(fixture_tree)
+    assert [f.rule for f in findings] == ["counter-schema"]
+    assert "offchip_bytez" in findings[0].message
+
+
+def test_baseline_grandfathers_fixture_finding(fixture_tree, tmp_path,
+                                               capsys):
+    mutate(fixture_tree, "machine/structures.py", """
+        def bucket(key, nbuckets):
+            return hash(str(key)) % nbuckets
+        """)
+    baseline = tmp_path / "baseline.json"
+    assert lint_main([f"--root={fixture_tree}",
+                      f"--baseline-file={baseline}", "--baseline"]) == 0
+    capsys.readouterr()
+    # Grandfathered: green again, but any *new* finding still fails.
+    assert lint_main([f"--root={fixture_tree}",
+                      f"--baseline-file={baseline}"]) == 0
+    capsys.readouterr()
+    mutate(fixture_tree, "machine/fresh.py", """
+        def jitter(n):
+            return hash("salted") % n
+        """)
+    assert lint_main([f"--root={fixture_tree}",
+                      f"--baseline-file={baseline}"]) == 1
+    out = capsys.readouterr().out
+    assert "machine/fresh.py" in out
