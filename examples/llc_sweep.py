@@ -16,7 +16,9 @@ from dataclasses import replace
 
 from repro import RunConfig, analysis, run_workload
 from repro.core.polluter import polluter_array_bytes, warm_polluter
-from repro.core.workloads import build_app
+from repro.trace.capture import TraceKey
+from repro.trace.pipeline import materialize
+from repro.trace.replay import ReplaySource
 from repro.uarch.core import Core
 from repro.uarch.hierarchy import MemoryHierarchy
 
@@ -24,7 +26,12 @@ SIZES_MB = (4, 6, 8, 10, 11, 12)
 
 
 def resize_method(name: str, config: RunConfig) -> dict[int, float]:
-    """Shrink the LLC directly (exact)."""
+    """Shrink the LLC directly (exact).
+
+    `run_workload` captures the workload's trace on the first size and
+    replays it for the other five — the capture-once/replay-many split
+    of docs/methodology.md §9.
+    """
     curve = {}
     for size in SIZES_MB:
         params = config.params.with_llc_mb(size)
@@ -34,21 +41,26 @@ def resize_method(name: str, config: RunConfig) -> dict[int, float]:
 
 
 def polluter_method(name: str, config: RunConfig) -> dict[int, float]:
-    """Occupy LLC capacity with the §3.1 polluter working set."""
+    """Occupy LLC capacity with the §3.1 polluter working set.
+
+    A custom harness over the same pipeline: one captured trace,
+    replayed into a hand-prepared hierarchy per polluter size.
+    """
+    captured, _app = materialize(TraceKey.from_config(name, config))
     curve = {}
     for size in SIZES_MB:
-        app = build_app(name, seed=config.seed)
+        source = ReplaySource(captured)
         hierarchy = MemoryHierarchy(config.params)
         array_bytes = polluter_array_bytes(config.params, size)
         if array_bytes:
             warm_polluter(hierarchy.llc, array_bytes)
-        app.warm(hierarchy, trace_uops=config.warm_uops)
+        source.warm_into(hierarchy)
         # Re-assert the polluters' residency (they run continuously on
         # their own cores, §3.1, so their array never leaves the LLC).
         if array_bytes:
             warm_polluter(hierarchy.llc, array_bytes)
         core = Core(config.params, hierarchy)
-        result = core.run([app.trace(0, config.window_uops)])
+        result = core.run(source.streams())
         curve[size] = analysis.application_ipc(result)
     return curve
 

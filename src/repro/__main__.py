@@ -5,6 +5,10 @@ Commands:
     list                      list the registered workloads
     run <workload> [N]        characterize one workload (N window micro-ops)
     trace <workload> [N]      dump N micro-ops of a workload's trace
+    trace capture <workload>  capture a workload's trace into the store
+    trace ls                  list the captured traces in the store
+    trace rm <prefix|all>     remove captured traces by fingerprint prefix
+    trace stats               trace-store totals and pipeline taps
     table1                    print Table 1
     figure1 .. figure7        regenerate one figure's table
     faults [workload...]      healthy vs. degraded-mode table (Figure 8)
@@ -44,6 +48,7 @@ physical invariants before it reaches the store or a figure —
 
 from __future__ import annotations
 
+import os
 import sys
 from dataclasses import dataclass
 
@@ -167,6 +172,19 @@ def _run_figure(name: str, config: RunConfig, options: CliOptions,
         print(table.to_bars(label, numeric[:2]))
     else:
         print(table.to_text())
+    _report_trace_taps()
+
+
+def _report_trace_taps() -> None:
+    """One trace-pipeline progress line per sweep, on stderr.
+
+    Stderr keeps figure tables byte-comparable across invocations with
+    different cache temperatures (CI diffs captured stdout).
+    """
+    from repro.trace.pipeline import TAPS
+
+    if TAPS.captures or TAPS.replays or TAPS.store_hits:
+        print(TAPS.summary(), file=sys.stderr)
 
 
 def _run_workload_command(args: list[str], config: RunConfig) -> None:
@@ -215,12 +233,14 @@ def _cache_command(args: list[str]) -> int:
 
 
 def _doctor_command(options: CliOptions) -> int:
-    """Scan and validate the store; quarantine what fails.
+    """Scan and validate the result *and* trace stores.
 
-    Exit status 0 means every document is healthy; 1 means defects
-    were found (and, unless ``--check``, moved into ``corrupt/``).
+    Exit status 0 means every document and trace container is healthy;
+    1 means defects were found (and, unless ``--check``, moved into
+    ``corrupt/``).
     """
     from repro.core.store import ResultStore, default_cache_dir
+    from repro.trace.store import TraceStore
 
     store = ResultStore()
     report = store.doctor(repair=not options.check)
@@ -237,12 +257,110 @@ def _doctor_command(options: CliOptions) -> int:
     if report["stale_versions"]:
         print(f"stale:     {', '.join(report['stale_versions'])} "
               "(older schema versions; safe to delete)")
+    trace_store = TraceStore()
+    trace_report = trace_store.doctor(repair=not options.check)
+    print(f"traces:    {trace_report['path']}")
+    print(f"scanned:   {trace_report['scanned']}")
+    print(f"healthy:   {trace_report['healthy']}")
+    print(f"{verb}: {len(trace_report['defects'])}")
+    for fingerprint, reason in trace_report["defects"]:
+        print(f"  {fingerprint[:16]}…: {reason}")
+    if trace_report["corrupt_entries"]:
+        print(f"corrupt/:  {trace_report['corrupt_entries']} container(s) "
+              f"under {trace_store.corrupt_directory}")
+    if trace_report["stale_versions"]:
+        print(f"stale:     {', '.join(trace_report['stale_versions'])} "
+              "(older trace schemas; safe to delete)")
     journals = sorted((default_cache_dir() / "checkpoints")
                       .glob("sweep-*.json"))
     if journals:
         print(f"journals:  {len(journals)} interrupted sweep(s) can be "
               "picked up with --resume")
-    return 1 if report["defects"] else 0
+    return 1 if report["defects"] or trace_report["defects"] else 0
+
+
+def _trace_dump(args: list[str]) -> int:
+    """``trace <workload> [N]`` — the legacy listing dump."""
+    from repro.tools import dump_trace
+
+    count = 200
+    if len(args) > 1:
+        try:
+            count = int(args[1])
+        except ValueError:
+            _usage_error(f"trace count must be an integer, got {args[1]!r}")
+    try:
+        text, _summary = dump_trace(args[0], count)
+    except KeyError as exc:
+        _usage_error(str(exc.args[0]))
+    try:
+        print(text, end="")
+    except BrokenPipeError:
+        pass
+    return 0
+
+
+def _trace_command(args: list[str], config: RunConfig,
+                   options: CliOptions) -> int:
+    """Dispatch the ``trace`` subcommands (see the module doc)."""
+    from repro.trace.pipeline import TAPS, materialize
+    from repro.trace.capture import TraceKey
+    from repro.trace.store import TraceStore
+
+    if not args:
+        print("usage: python -m repro trace "
+              "<workload> [N] | capture <workload> | ls | rm <prefix|all> "
+              "| stats")
+        return 2
+    action = args[0]
+    if action == "capture":
+        if len(args) < 2:
+            _usage_error("trace capture requires a workload name")
+        key = TraceKey.from_config(args[1], config)
+        try:
+            captured, _app = materialize(key,
+                                         use_store=not options.no_cache)
+        except KeyError as exc:
+            _usage_error(str(exc.args[0]))
+        source = "store hit" if TAPS.store_hits else "captured"
+        print(f"{source}: {captured.label} "
+              f"fingerprint={captured.fingerprint[:16]}… "
+              f"uops={captured.total_uops()} bytes={captured.nbytes()}")
+        print(TAPS.summary())
+        return 0
+    if action == "ls":
+        store = TraceStore()
+        entries = store.entries()
+        for entry in entries:
+            meta = entry["meta"]
+            print(f"{entry['fingerprint'][:16]}  {entry['label']:<24} "
+                  f"window={meta.get('window_uops', '?'):<7} "
+                  f"seed={meta.get('seed', '?'):<3} "
+                  f"uops={entry['uops']:<8} bytes={entry['bytes']}")
+        print(f"{len(entries)} trace(s) in {store.directory}")
+        return 0
+    if action == "rm":
+        if len(args) < 2:
+            _usage_error("trace rm requires a fingerprint prefix or 'all'")
+        store = TraceStore()
+        prefix = "" if args[1] == "all" else args[1]
+        removed = store.remove(prefix)
+        print(f"removed {removed} trace(s) from {store.directory}")
+        return 0
+    if action == "stats":
+        stats = TraceStore().stats()
+        print(f"store:   {stats['path']}")
+        print(f"entries: {stats['entries']}")
+        print(f"bytes:   {stats['bytes']}")
+        if stats["corrupt_entries"]:
+            print(f"corrupt: {stats['corrupt_entries']} quarantined "
+                  "container(s) (see `python -m repro doctor`)")
+        if stats["stale_versions"]:
+            print(f"stale:   {', '.join(stats['stale_versions'])} "
+                  "(older trace schemas; safe to delete)")
+        print(TAPS.summary())
+        return 0
+    return _trace_dump(args)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -276,28 +394,7 @@ def main(argv: list[str] | None = None) -> int:
     if command == "doctor":
         return _doctor_command(options)
     if command == "trace":
-        from repro.tools import dump_trace
-
-        if len(args) < 2:
-            print("usage: python -m repro trace <workload> [N]")
-            return 2
-        count = 200
-        if len(args) > 2:
-            try:
-                count = int(args[2])
-            except ValueError:
-                _usage_error(
-                    f"trace count must be an integer, got {args[2]!r}"
-                )
-        try:
-            text, _summary = dump_trace(args[1], count)
-        except KeyError as exc:
-            _usage_error(str(exc.args[0]))
-        try:
-            print(text, end="")
-        except BrokenPipeError:
-            pass
-        return 0
+        return _trace_command(args[1:], config, options)
     if command == "faults":
         from repro.core.experiments import figure8_faults
 
@@ -351,5 +448,18 @@ def main(argv: list[str] | None = None) -> int:
     return 2
 
 
+def _entry() -> int:
+    try:
+        return main()
+    except BrokenPipeError:
+        # `python -m repro trace ls | head` closes our stdout early;
+        # follow the Unix convention (die quietly) instead of dumping a
+        # traceback.  Detach stdout so interpreter shutdown does not
+        # raise the same error again while flushing.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE
+
+
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(_entry())

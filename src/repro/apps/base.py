@@ -289,28 +289,15 @@ class ServerApp(abc.ABC):
         return []
 
     def warm(self, hierarchy, trace_uops: int = 40_000) -> None:
-        """Functionally warm a hierarchy: LLC contents + short replay."""
-        fill = hierarchy.llc.fill
-        for fn in self.layout.functions():
-            for addr in range(fn.base, fn.base + fn.size, 64):
-                fill(addr)
-        for base, nbytes in self.kernel.warm_ranges() + self.warm_ranges():
-            for addr in range(base, base + nbytes, 64):
-                fill(addr)
-        # Short execution replay: orders LRU recency, fills L1/L2/TLBs,
-        # and trains the prefetcher tables, without core timing.
-        last_line = -1
-        access = hierarchy.access
-        for uop in self.trace(0, trace_uops):
-            line = uop.pc >> 6
-            if line != last_line:
-                last_line = line
-                access(uop.pc, False, True, uop.is_os)
-            kind = uop.kind
-            if kind == 1:  # LOAD
-                access(uop.addr, False, False, uop.is_os)
-            elif kind == 2:  # STORE
-                access(uop.addr, True, False, uop.is_os)
+        """Functionally warm a hierarchy: LLC contents + short replay.
+
+        Delegates to :func:`repro.trace.live.warm_app` — the same fill
+        walk and functional replay a captured trace performs, so live
+        and replayed warming stay byte-identical by construction.
+        """
+        from repro.trace.live import warm_app
+
+        warm_app(self, hierarchy, trace_uops)
 
     # -- trace production ------------------------------------------------
     def trace(self, tid: int = 0, budget: int = 100_000) -> Iterator[MicroOp]:
@@ -342,6 +329,8 @@ class ServerApp(abc.ABC):
         self, tid: int, budget: int, segments: int
     ) -> list[Iterator[MicroOp]]:
         """Split a budget into ``segments`` lazily-generated trace chunks
-        (used for round-robin multi-core interleaving)."""
-        per_segment = max(1, budget // segments)
-        return [self.trace(tid, per_segment) for _ in range(segments)]
+        (round-robin multi-core interleaving; delegates to
+        :func:`repro.trace.live.live_segments`)."""
+        from repro.trace.live import live_segments
+
+        return live_segments(self, tid, budget, segments)

@@ -64,8 +64,13 @@ def degraded_plan(seed: int = 7, intensity: float = 1.0) -> FaultPlan:
 
 
 def _measure_cell(name: str, config: RunConfig) -> dict:
-    """Run one (workload, mode) cell and distill its row payload."""
-    run = run_workload(name, config)
+    """Run one (workload, mode) cell and distill its row payload.
+
+    ``require_app=True``: the row reads service metrics and fault
+    counters off the live app, which a trace-store hit (``app=None``)
+    cannot supply.
+    """
+    run = run_workload(name, config, require_app=True)
     r = run.result
     app = run.app
     service = app.service.summary()

@@ -12,8 +12,17 @@ figures without re-running identical configurations.
 
 Resilience: a :class:`~repro.faults.plan.FaultPlan` in the
 configuration routes every run through the fault injector (degraded
-modes), and each trace is wrapped in a watchdog budget guard so a
+modes), and each live trace is wrapped in a watchdog budget guard so a
 wedged serve loop raises instead of hanging a sweep.
+
+Single-core runs (``run_workload`` and non-SMT group members) are
+trace-driven: the measurement stream is captured once per
+``(workload, member, seed, window, fault_plan)`` through
+:mod:`repro.trace.pipeline` and replayed against each machine
+configuration.  SMT and chip runs interleave thread generation with
+core timing, so their stream content depends on the configuration
+under test — they keep live generation through
+:class:`repro.trace.live.LiveSource`, behind the same source protocol.
 """
 
 from __future__ import annotations
@@ -26,7 +35,10 @@ from repro.core.sweep import config_fingerprint
 from repro.core.workloads import build_app
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
-from repro.faults.watchdog import RunawayTraceError, guard_trace, trace_budget
+from repro.faults.watchdog import RunawayTraceError
+from repro.trace import pipeline as trace_pipeline
+from repro.trace.capture import TraceKey
+from repro.trace.live import LiveSource, live_stream
 from repro.uarch.chip import Chip, ChipResult
 from repro.uarch.core import Core, CoreResult
 from repro.uarch.dram import per_core_utilization
@@ -115,8 +127,10 @@ _CACHE_CAPACITY = 128
 
 
 def clear_cache() -> None:
-    """Drop every cached measurement (tests use this for isolation)."""
+    """Drop every cached measurement, the trace memo, and the pipeline
+    taps (tests use this for isolation)."""
     _CACHE.clear()
+    trace_pipeline.reset()
 
 
 def _cache_get(key: str):
@@ -149,32 +163,37 @@ def _attach_faults(app: ServerApp, config: RunConfig) -> None:
 
 
 def guarded_trace(app: ServerApp, tid: int, budget: int, label: str):
-    """An app trace wrapped in the runaway-trace watchdog.
+    """A live app trace wrapped in the runaway-trace watchdog.
 
-    Every path that feeds a core must come through here (the ablation
-    experiments included), so a wedged serve loop raises
-    :class:`RunawayTraceError` instead of hanging the sweep.
+    Every live-generation path that feeds a core must come through
+    here (the ablation experiments included), so a wedged serve loop
+    raises :class:`RunawayTraceError` instead of hanging the sweep.
+    Replayed traces were bounded at capture time and skip the guard.
     """
-    return guard_trace(app.trace(tid, budget), trace_budget(budget), label)
-
-
-#: Internal alias kept for the call sites below.
-_guarded = guarded_trace
+    return live_stream(app, tid, budget, label)
 
 
 def run_workload(name: str, config: RunConfig | None = None,
-                 use_cache: bool = True) -> WorkloadRun:
-    """Measure one workload on one core (the Figures 1/2/5/7 setup)."""
+                 use_cache: bool = True,
+                 require_app: bool = False) -> WorkloadRun:
+    """Measure one workload on one core (the Figures 1/2/5/7 setup).
+
+    Trace-driven: the measurement stream is materialized through the
+    capture/replay pipeline (captured at most once per trace key, then
+    replayed per machine configuration).  ``require_app=True`` forces a
+    run whose ``app`` is the live instance that produced the trace —
+    the faults figure reads its service metrics, which a store-restored
+    trace cannot supply.
+    """
     config = config or RunConfig()
     key = _cache_key("single", name, config)
-    if use_cache and (hit := _cache_get(key)) is not None:
+    if use_cache and (hit := _cache_get(key)) is not None \
+            and not (require_app and hit.app is None):
         return hit
-    app = build_app(name, seed=config.seed)
-    _attach_faults(app, config)
-    hierarchy = MemoryHierarchy(config.params)
-    app.warm(hierarchy, trace_uops=config.warm_uops)
-    core = Core(config.params, hierarchy)
-    result = core.run([_guarded(app, 0, config.window_uops, name)])
+    trace_key = TraceKey.from_config(name, config)
+    captured, app = trace_pipeline.materialize(
+        trace_key, use_store=use_cache, require_app=require_app)
+    result = trace_pipeline.replay(captured, config.params)
     run = WorkloadRun(name, config, result, app)
     if use_cache:
         _cache_put(key, run)
@@ -183,7 +202,12 @@ def run_workload(name: str, config: RunConfig | None = None,
 
 def run_workload_smt(name: str, config: RunConfig | None = None,
                      use_cache: bool = True) -> WorkloadRun:
-    """Measure one workload with two threads on one SMT core (Fig. 3)."""
+    """Measure one workload with two threads on one SMT core (Fig. 3).
+
+    SMT streams are pulled in core-interleaved order from one shared
+    app, so their content depends on the timing configuration — the
+    run stays live (guarded) behind a :class:`LiveSource`.
+    """
     config = config or RunConfig()
     smt_params = config.params.with_smt(2)
     config = replace(config, params=smt_params)
@@ -192,12 +216,13 @@ def run_workload_smt(name: str, config: RunConfig | None = None,
         return hit
     app = build_app(name, seed=config.seed)
     _attach_faults(app, config)
-    hierarchy = MemoryHierarchy(smt_params)
-    app.warm(hierarchy, trace_uops=config.warm_uops)
-    core = Core(smt_params, hierarchy)
     half = config.window_uops // 2
-    result = core.run([_guarded(app, 0, half, name),
-                       _guarded(app, 1, half, name)])
+    source = LiveSource(app, budgets=(half, half), label=name,
+                        warm_uops=config.warm_uops)
+    hierarchy = MemoryHierarchy(smt_params)
+    source.warm_into(hierarchy)
+    core = Core(smt_params, hierarchy)
+    result = core.run(source.streams())
     run = WorkloadRun(name, config, result, app)
     if use_cache:
         _cache_put(key, run)
@@ -242,20 +267,24 @@ def _run_member(group: str, member: str, config: RunConfig,
                      replace(config, params=params))
     if use_cache and (hit := _cache_get(key)) is not None:
         return hit
-    spec = REGISTRY[group]
-    app_cls = type(spec.factory(0))
-    app = app_cls(seed=config.seed, member=member)
-    _attach_faults(app, config)
-    hierarchy = MemoryHierarchy(params)
-    app.warm(hierarchy, trace_uops=config.warm_uops)
-    core = Core(params, hierarchy)
     label = f"{group}:{member}"
     if smt:
+        spec = REGISTRY[group]
+        app_cls = type(spec.factory(0))
+        app = app_cls(seed=config.seed, member=member)
+        _attach_faults(app, config)
         half = config.window_uops // 2
-        result = core.run([_guarded(app, 0, half, label),
-                           _guarded(app, 1, half, label)])
+        source = LiveSource(app, budgets=(half, half), label=label,
+                            warm_uops=config.warm_uops)
+        hierarchy = MemoryHierarchy(params)
+        source.warm_into(hierarchy)
+        core = Core(params, hierarchy)
+        result = core.run(source.streams())
     else:
-        result = core.run([_guarded(app, 0, config.window_uops, label)])
+        trace_key = TraceKey.from_config(group, config, member=member)
+        captured, app = trace_pipeline.materialize(trace_key,
+                                                   use_store=use_cache)
+        result = trace_pipeline.replay(captured, params)
     run = WorkloadRun(label, replace(config, params=params), result, app)
     if use_cache:
         _cache_put(key, run)
@@ -322,15 +351,18 @@ def run_workload_chip(
             _attach_faults(apps[-1], config)
         set_default_asid(0)
         tids = [0] * num_cores
+    from repro.trace.live import live_segments, warm_app
+
     chip = Chip(config.params, num_cores=num_cores)
     for core, app in zip(chip.cores, apps):
-        app.warm(core.hierarchy, trace_uops=max(2_000, config.warm_uops // 8))
+        warm_app(app, core.hierarchy,
+                 trace_uops=max(2_000, config.warm_uops // 8))
     # Measurement starts now: forget who wrote what during warmup/setup.
     chip.directory.clear()
     chip.directory.stats.__init__()
     per_core_budget = config.window_uops // num_cores
     per_core_segments = [
-        app.trace_segments(tid, per_core_budget, segments)
+        live_segments(app, tid, per_core_budget, segments)
         for app, tid in zip(apps, tids)
     ]
     result = chip.run_segments(per_core_segments)

@@ -37,6 +37,8 @@ import json
 from dataclasses import dataclass, fields, is_dataclass
 from typing import TYPE_CHECKING, Sequence
 
+from repro.trace.codec import TRACE_SCHEMA
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.core.runner import RunConfig, WorkloadRun
     from repro.core.store import ResultStore
@@ -91,6 +93,12 @@ def config_fingerprint(kind: str, name: str, config: "RunConfig") -> str:
     """
     document = {
         "schema": FINGERPRINT_SCHEMA,
+        # Results are computed from captured traces, so the codec
+        # schema is measurement provenance: folding it in means a
+        # codec change invalidates every cached result (in-process LRU
+        # and on-disk store) instead of silently serving counters
+        # derived from an incompatible encoding.
+        "trace_schema": TRACE_SCHEMA,
         "kind": kind,
         "name": name,
         "config": canonical(config),
@@ -257,6 +265,7 @@ class SweepEngine:
 
         failures: list[dict] = []
         if pending:
+            self._materialize_traces([cell for _, cell, _ in pending])
             if self.jobs > 1 and len(pending) > 1:
                 supervisor = SweepSupervisor(self.worker, self.jobs,
                                              self.retry,
@@ -271,6 +280,22 @@ class SweepEngine:
         if checkpoint is not None:
             checkpoint.complete()
         return results  # type: ignore[return-value]
+
+    def _materialize_traces(self, cells: Sequence[Cell]) -> None:
+        """Capture each distinct trace the pending cells replay, once.
+
+        Runs in the parent before cells fan out, so a sweep performs
+        O(traces) captures instead of O(cells): serial cells hit the
+        in-process memo, pool workers hit the on-disk trace store.
+        With ``use_cache`` off the store is skipped in both directions,
+        so parallel uncached workers capture for themselves — only the
+        parent-side memo sharing is lost.
+        """
+        from repro.trace.pipeline import materialize_cells
+
+        if self.jobs > 1 and not self.use_cache:
+            return  # nothing can carry parent captures to the workers
+        materialize_cells(cells, use_store=self.use_cache)
 
     @staticmethod
     def _payload_acceptor(accept):

@@ -54,6 +54,7 @@ from repro.lint.rules.determinism import (  # noqa: E402
     UnseededRandomRule,
     WallClockRule,
 )
+from repro.lint.rules.layering import TraceLayerRule  # noqa: E402
 from repro.lint.rules.robustness import (  # noqa: E402
     BlindExceptRule,
     FloatEqualityRule,
@@ -67,6 +68,7 @@ ALL_RULES: List[Type[Rule]] = [
     WallClockRule,
     OrderDependenceRule,
     StableHashArgsRule,
+    TraceLayerRule,
     BlindExceptRule,
     MutableDefaultRule,
     FloatEqualityRule,

@@ -1,0 +1,80 @@
+"""Layering rules.
+
+The capture/replay pipeline is only sound if every micro-op stream
+actually goes through it: a module that drains ``app.trace()`` on its
+own bypasses capture (so the run can never be replayed or
+deduplicated), bypasses the runaway-trace watchdog (so a wedged serve
+loop hangs instead of raising), and is invisible to the pipeline taps.
+The rule enforces the module boundary the refactor established.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.rules import Rule
+
+#: Methods whose call sites constitute direct trace consumption.
+_TRACE_METHODS = frozenset({"trace", "trace_segments"})
+
+#: Files (relative to the lint root) and directories allowed to touch
+#: raw traces: the trace package itself, and the runner facade.
+_ALLOWED_DIR = "trace"
+_ALLOWED_FILES = ("core/runner.py",)
+
+
+def _called_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+class TraceLayerRule(Rule):
+    """Direct trace consumption outside the trace layer.
+
+    ``app.trace(...)``, ``app.trace_segments(...)``, and raw
+    ``guard_trace(...)`` wrapping belong to ``repro/trace/`` (capture
+    and live sources) and the ``core/runner.py`` facade.  Everything
+    else must go through the pipeline — ``materialize``/``replay`` for
+    trace-driven runs, ``LiveSource``/``guarded_trace`` for
+    generation-entangled ones.
+    """
+
+    name = "trace-layer"
+    severity = "error"
+    description = ("direct app.trace()/guard_trace() consumption "
+                   "bypasses the capture/replay pipeline; route it "
+                   "through repro/trace or the runner facade")
+
+    def _allowed(self, path: str) -> bool:
+        if path.endswith(_ALLOWED_FILES):
+            return True
+        return _ALLOWED_DIR in path.split("/")[:-1]
+
+    def check_file(self, ctx) -> Iterable[Finding]:
+        if self._allowed(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            called = _called_name(node.func)
+            if called == "guard_trace":
+                yield self.finding(
+                    ctx, node,
+                    "raw guard_trace() wrapping outside the trace "
+                    "layer; use repro.trace.live.live_stream (or the "
+                    "runner's guarded_trace facade) so capture and "
+                    "live generation share one watchdog path")
+            elif (called in _TRACE_METHODS
+                    and isinstance(node.func, ast.Attribute)):
+                yield self.finding(
+                    ctx, node,
+                    f".{called}() drained outside the trace layer "
+                    "bypasses capture, the runaway-trace watchdog, and "
+                    "the pipeline taps; go through "
+                    "repro.trace.pipeline.materialize or a "
+                    "repro.trace.live source")

@@ -94,8 +94,10 @@ def dump_trace(workload: str, num_uops: int = 2_000, seed: int = 7,
     """Build a workload and dump ``num_uops`` of its trace.
 
     Returns (text, summary); the text ends with the summary block."""
+    from repro.trace.live import take_uops
+
     app = build_app(workload, seed=seed)
-    uops = list(app.trace(0, num_uops))
+    uops = take_uops(app, 0, num_uops)
     summary = summarize(uops)
     out = io.StringIO()
     if include_listing:

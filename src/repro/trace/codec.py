@@ -1,0 +1,146 @@
+"""Columnar micro-op encoding.
+
+A measurement window is ~10⁵ dynamic micro-ops; holding them as Python
+objects costs ~200 B each and decoding them from JSON would dominate
+replay time.  :class:`EncodedStream` instead stores one ``array.array``
+per :class:`~repro.uarch.uop.MicroOp` field (parallel columns), with
+the variable-length ``deps`` tuples flattened into a single column plus
+a per-op count — ~28 B per op, serializable as raw bytes, and decodable
+at millions of ops per second.
+
+``TRACE_SCHEMA`` versions both the encoding *and* the meaning of a
+captured stream.  It participates in every trace fingerprint and in
+:func:`repro.core.sweep.config_fingerprint`, so a codec change can
+never serve a stale trace — or a timing result derived from one.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, Iterator
+
+from repro.uarch.uop import MicroOp
+
+__all__ = ["TRACE_SCHEMA", "COLUMNS", "EncodedStream", "encode_stream"]
+
+#: Bump when the column set, the flag bits, or the semantics of any
+#: encoded field change.  Versions the store directory, every trace
+#: fingerprint, and (via ``config_fingerprint``) every cached result.
+TRACE_SCHEMA = 1
+
+_OS_BIT = 1
+_TAKEN_BIT = 2
+
+#: Column name → ``array`` typecode, in serialization order.  ``flags``
+#: packs ``is_os`` (bit 0) and ``taken`` (bit 1); ``deps`` is the
+#: flattened dependency column indexed through ``dep_count``.
+COLUMNS = (
+    ("kind", "B"),
+    ("pc", "Q"),
+    ("addr", "Q"),
+    ("seq", "Q"),
+    ("tid", "H"),
+    ("flags", "B"),
+    ("target", "Q"),
+    ("dep_count", "H"),
+    ("deps", "Q"),
+)
+
+
+class EncodedStream:
+    """One micro-op stream as parallel columns.
+
+    Append-only during capture; :meth:`decode` yields ``MicroOp``
+    objects field-identical to the ones that were appended.  Field
+    values outside a column's range (negative addresses, a dependency
+    list longer than 2¹⁶) raise ``OverflowError`` at append time —
+    capture must fail loudly, never truncate.
+    """
+
+    __slots__ = tuple(name for name, _ in COLUMNS)
+
+    def __init__(self) -> None:
+        for name, typecode in COLUMNS:
+            setattr(self, name, array(typecode))
+
+    def __len__(self) -> int:
+        return len(self.kind)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EncodedStream):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name)
+            for name, _ in COLUMNS
+        )
+
+    __hash__ = None  # mutable container
+
+    def nbytes(self) -> int:
+        """Total payload bytes across every column."""
+        return sum(
+            len(column) * column.itemsize for column in self.columns()
+        )
+
+    def columns(self) -> list[array]:
+        """The column arrays, in ``COLUMNS`` order."""
+        return [getattr(self, name) for name, _ in COLUMNS]
+
+    def append(self, uop: MicroOp) -> None:
+        """Append one micro-op's fields to the columns."""
+        self.kind.append(uop.kind)
+        self.pc.append(uop.pc)
+        self.addr.append(uop.addr)
+        self.seq.append(uop.seq)
+        self.tid.append(uop.tid)
+        self.flags.append(
+            (_OS_BIT if uop.is_os else 0) | (_TAKEN_BIT if uop.taken else 0)
+        )
+        self.target.append(uop.target)
+        self.dep_count.append(len(uop.deps))
+        self.deps.extend(uop.deps)
+
+    def decode(self) -> Iterator[MicroOp]:
+        """Yield the stream back as ``MicroOp`` objects.
+
+        The reconstruction is exact: every field (including dependency
+        tuples and the OS/taken flags) round-trips, so a core replaying
+        a decoded stream counts identically to one fed the live stream.
+        """
+        deps = self.deps
+        offset = 0
+        for i in range(len(self.kind)):
+            count = self.dep_count[i]
+            if count:
+                dep_tuple = tuple(deps[offset:offset + count])
+                offset += count
+            else:
+                dep_tuple = ()
+            flags = self.flags[i]
+            yield MicroOp(
+                kind=self.kind[i],
+                pc=self.pc[i],
+                addr=self.addr[i],
+                deps=dep_tuple,
+                seq=self.seq[i],
+                is_os=bool(flags & _OS_BIT),
+                tid=self.tid[i],
+                taken=bool(flags & _TAKEN_BIT),
+                target=self.target[i],
+            )
+
+    @classmethod
+    def from_columns(cls, columns: dict[str, bytes]) -> "EncodedStream":
+        """Rebuild a stream from raw per-column bytes (store reads)."""
+        stream = cls()
+        for name, _ in COLUMNS:
+            getattr(stream, name).frombytes(columns[name])
+        return stream
+
+
+def encode_stream(uops: Iterable[MicroOp]) -> EncodedStream:
+    """Drain ``uops`` into a new :class:`EncodedStream`."""
+    stream = EncodedStream()
+    for uop in uops:
+        stream.append(uop)
+    return stream

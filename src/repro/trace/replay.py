@@ -1,0 +1,104 @@
+"""Timing replay: feed a captured trace to a core, guard-free.
+
+Replay is the per-configuration half of the pipeline: build a fresh
+:class:`~repro.uarch.hierarchy.MemoryHierarchy` for the machine
+parameters under test, functionally warm it from the captured fill
+ranges and warm stream, then run the core over the decoded measurement
+stream(s).  Because the decoded stream is field-identical to the live
+one (see :mod:`repro.trace.codec`), the resulting
+:class:`~repro.uarch.core.CoreResult` counters match a live run
+byte-for-byte — the replay-equivalence tests pin this for every
+workload in the registry.
+
+No watchdog here: the stream length was bounded at capture time, so
+wrapping replay in a guard would only add per-uop overhead to the hot
+path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Protocol
+
+from repro.uarch.core import Core, CoreResult
+from repro.uarch.hierarchy import MemoryHierarchy
+from repro.uarch.params import MachineParams
+from repro.uarch.uop import MicroOp
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.trace.capture import CapturedTrace
+
+__all__ = ["TraceSource", "ReplaySource", "fill_lines",
+           "functional_replay", "replay_trace"]
+
+
+class TraceSource(Protocol):
+    """What a core-feeding stage needs from any trace provider.
+
+    Implemented by :class:`ReplaySource` (decoded captures) and
+    :class:`repro.trace.live.LiveSource` (generation-entangled runs);
+    the runner is indifferent to which it holds.
+    """
+
+    def warm_into(self, hierarchy: MemoryHierarchy) -> None:
+        """Functionally warm ``hierarchy`` for this trace."""
+
+    def streams(self) -> List[Iterator[MicroOp]]:
+        """One measurement micro-op iterator per hardware thread."""
+
+
+def fill_lines(hierarchy: MemoryHierarchy,
+               ranges: Iterable[tuple[int, int]]) -> None:
+    """Install every line of ``(base, nbytes)`` ranges into the LLC."""
+    fill = hierarchy.llc.fill
+    for base, nbytes in ranges:
+        for addr in range(base, base + nbytes, 64):
+            fill(addr)
+
+
+def functional_replay(hierarchy: MemoryHierarchy,
+                      uops: Iterable[MicroOp]) -> None:
+    """Replay ``uops`` through the hierarchy without core timing.
+
+    Orders LRU recency, fills L1/L2/TLBs, and trains the prefetcher
+    tables — one instruction-fetch access per new code line plus the
+    load/store data accesses, exactly the warming walk the live runner
+    performs.
+    """
+    last_line = -1
+    access = hierarchy.access
+    for uop in uops:
+        line = uop.pc >> 6
+        if line != last_line:
+            last_line = line
+            access(uop.pc, False, True, uop.is_os)
+        kind = uop.kind
+        if kind == 1:  # LOAD
+            access(uop.addr, False, False, uop.is_os)
+        elif kind == 2:  # STORE
+            access(uop.addr, True, False, uop.is_os)
+
+
+class ReplaySource:
+    """A :class:`TraceSource` over one :class:`CapturedTrace`."""
+
+    def __init__(self, captured: "CapturedTrace") -> None:
+        self.captured = captured
+
+    def warm_into(self, hierarchy: MemoryHierarchy) -> None:
+        """Replay the captured fill ranges and warm stream."""
+        fill_lines(hierarchy, self.captured.fill_ranges)
+        functional_replay(hierarchy, self.captured.warm.decode())
+
+    def streams(self) -> List[Iterator[MicroOp]]:
+        """Fresh decode iterators, one per captured thread stream."""
+        return [stream.decode() for stream in self.captured.streams]
+
+
+def replay_trace(captured: "CapturedTrace",
+                 params: MachineParams) -> CoreResult:
+    """One timing measurement: warm a fresh hierarchy, run the core."""
+    source = ReplaySource(captured)
+    hierarchy = MemoryHierarchy(params)
+    source.warm_into(hierarchy)
+    core = Core(params, hierarchy)
+    return core.run(source.streams())

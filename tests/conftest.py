@@ -7,6 +7,8 @@ re-simulating.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.runner import RunConfig
@@ -15,6 +17,26 @@ from repro.uarch.params import MachineParams
 
 TINY = RunConfig(window_uops=12_000, warm_uops=4_000)
 SMALL = RunConfig(window_uops=30_000, warm_uops=10_000)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_cache_dir(tmp_path_factory):
+    """Point the result/trace stores at a throwaway root.
+
+    ``run_workload`` persists captured traces through the trace store,
+    so an unisolated suite would write into the user's real
+    ``~/.cache/repro``.  Tests that need a root of their own still
+    monkeypatch ``REPRO_CACHE_DIR`` per test; this only changes the
+    default.
+    """
+    root = tmp_path_factory.mktemp("repro-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(root)
+    yield root
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture(scope="session")

@@ -241,3 +241,60 @@ def test_float_inequality_bounds_allowed(tmp_path):
             return utilization >= 0.95 and utilization != utilization
         """)
     assert findings == []
+
+
+# --------------------------------------------------------- trace layer
+def test_app_trace_drain_flagged(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        def measure(app):
+            return list(app.trace(0, 1000))
+        """)
+    assert rules_of(findings) == {"trace-layer"}
+    assert "bypasses capture" in findings[0].message
+
+
+def test_trace_segments_flagged(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        def segments(app):
+            return app.trace_segments(0, 1000, 4)
+        """)
+    assert rules_of(findings) == {"trace-layer"}
+
+
+def test_raw_guard_trace_flagged(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        from repro.faults.watchdog import guard_trace
+
+        def measure(stream):
+            return guard_trace(stream, 5000, "x")
+        """)
+    assert rules_of(findings) == {"trace-layer"}
+    assert "live_stream" in findings[0].message
+
+
+def test_trace_package_is_allowed(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        def capture(app):
+            return list(app.trace(0, 1000))
+        """, relpath="trace/capture.py")
+    assert findings == []
+
+
+def test_runner_facade_is_allowed(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        def guarded_trace(app, tid, budget, label):
+            return app.trace(tid, budget)
+        """, relpath="core/runner.py")
+    assert findings == []
+
+
+def test_unrelated_trace_names_allowed(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        import sys
+
+        def profile():
+            sys.settrace(None)
+            trace = [1, 2, 3]
+            return trace(0)  # a local callable, not a method drain
+        """)
+    assert findings == []

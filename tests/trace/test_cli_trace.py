@@ -1,0 +1,142 @@
+"""The ``python -m repro trace`` surface and the doctor's trace audit."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.runner import clear_cache
+from repro.trace.capture import TraceKey
+from repro.trace.store import TraceStore
+
+
+@pytest.fixture(autouse=True)
+def isolated(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def captured_fingerprint(window: int = 6_000) -> str:
+    # Mirror of the CLI's key: default config except --window/--warm.
+    from repro.core.runner import RunConfig
+
+    config = RunConfig(window_uops=window, warm_uops=2_000)
+    return TraceKey.from_config("sat-solver", config).fingerprint()
+
+
+def capture_args(extra: list[str] | None = None) -> list[str]:
+    return (["trace", "capture", "sat-solver",
+             "--window", "6000", "--warm", "2000"] + (extra or []))
+
+
+class TestUsageErrors:
+    def test_bare_trace_prints_usage(self, capsys):
+        assert main(["trace"]) == 2
+        assert "usage:" in capsys.readouterr().out
+
+    def test_capture_requires_workload(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["trace", "capture"])
+        assert exc.value.code == 2
+        assert "requires a workload" in capsys.readouterr().err
+
+    def test_capture_unknown_workload(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["trace", "capture", "no-such-workload"])
+        assert exc.value.code == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_rm_requires_prefix(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["trace", "rm"])
+        assert exc.value.code == 2
+        assert "prefix" in capsys.readouterr().err
+
+
+class TestCaptureLsRmStats:
+    def test_capture_then_store_hit(self, capsys):
+        assert main(capture_args()) == 0
+        out = capsys.readouterr().out
+        assert "captured: sat-solver" in out
+        assert captured_fingerprint()[:16] in out
+        assert "trace pipeline:" in out
+        clear_cache()
+        assert main(capture_args()) == 0
+        assert "store hit: sat-solver" in capsys.readouterr().out
+
+    def test_no_cache_capture_skips_the_store(self, capsys):
+        assert main(capture_args(["--no-cache"])) == 0
+        capsys.readouterr()
+        assert main(["trace", "ls"]) == 0
+        assert "0 trace(s)" in capsys.readouterr().out
+
+    def test_ls_lists_entries(self, capsys):
+        main(capture_args())
+        capsys.readouterr()
+        assert main(["trace", "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "sat-solver" in out
+        assert "window=6000" in out
+        assert "1 trace(s)" in out
+
+    def test_rm_by_prefix_and_all(self, capsys):
+        main(capture_args())
+        capsys.readouterr()
+        assert main(["trace", "rm", captured_fingerprint()[:8]]) == 0
+        assert "removed 1 trace(s)" in capsys.readouterr().out
+        clear_cache()  # a fresh CLI process would not hold the memo
+        main(capture_args())
+        capsys.readouterr()
+        assert main(["trace", "rm", "all"]) == 0
+        assert "removed 1 trace(s)" in capsys.readouterr().out
+
+    def test_stats_reports_store_and_taps(self, capsys):
+        main(capture_args())
+        capsys.readouterr()
+        assert main(["trace", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1" in out
+        assert "trace pipeline:" in out
+
+    def test_legacy_dump_still_works(self, capsys):
+        assert main(["trace", "sat-solver", "5"]) == 0
+        assert capsys.readouterr().out
+
+
+class TestDoctorTraceAudit:
+    def poison(self) -> TraceStore:
+        main(capture_args())
+        store = TraceStore()
+        path = store.path_for(captured_fingerprint())
+        path.write_bytes(b"garbage")
+        return store
+
+    def test_clean_stores_exit_zero(self, capsys):
+        main(capture_args())
+        capsys.readouterr()
+        assert main(["doctor"]) == 0
+        out = capsys.readouterr().out
+        assert "traces:" in out
+
+    def test_defective_trace_fails_doctor_and_quarantines(self, capsys):
+        store = self.poison()
+        capsys.readouterr()
+        assert main(["doctor"]) == 1
+        assert "quarantined: 1" in capsys.readouterr().out
+        path = store.path_for(captured_fingerprint())
+        assert not path.exists()
+        quarantined = store.corrupt_directory / path.name
+        assert quarantined.exists()
+        reason = json.loads(
+            quarantined.with_suffix(".reason").read_text())
+        assert reason["reason"]
+
+    def test_check_mode_reports_but_leaves_the_store_alone(self, capsys):
+        store = self.poison()
+        capsys.readouterr()
+        assert main(["doctor", "--check"]) == 1
+        assert store.path_for(captured_fingerprint()).exists()

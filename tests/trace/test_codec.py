@@ -1,0 +1,138 @@
+"""Columnar codec round-trips: every MicroOp field, every edge value.
+
+The replay-equivalence guarantee rests on ``EncodedStream.decode()``
+being field-exact, so these tests exercise the full value range of each
+column — including the packed flag bits, empty and long dependency
+tuples, and 64-bit extremes — and pin the fail-loudly behaviour for
+values a column cannot hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.codec import COLUMNS, EncodedStream, encode_stream
+from repro.uarch.uop import MicroOp, OpKind
+
+U64_MAX = 2**64 - 1
+U16_MAX = 2**16 - 1
+
+
+def fields_of(uop: MicroOp) -> tuple:
+    return (uop.kind, uop.pc, uop.addr, uop.deps, uop.seq,
+            uop.is_os, uop.tid, uop.taken, uop.target)
+
+
+EDGE_UOPS = [
+    # Plain ALU op, all defaults.
+    MicroOp(OpKind.ALU, pc=0x4000),
+    # Load with one dependency and OS mode set.
+    MicroOp(OpKind.LOAD, pc=0x4008, addr=0xDEAD_BEE0, deps=(3,),
+            seq=4, is_os=True),
+    # Store with several dependencies on a nonzero thread.
+    MicroOp(OpKind.STORE, pc=0x4010, addr=0x1_0000_0000,
+            deps=(1, 2, 3, 4, 5), seq=6, tid=9),
+    # Taken branch with a target (the BTB-relevant fields).
+    MicroOp(OpKind.BRANCH, pc=0x4018, seq=7, taken=True,
+            target=0x7FFF_FFFF_FFFF),
+    # Not-taken branch: ``taken`` False must survive next to True.
+    MicroOp(OpKind.BRANCH, pc=0x4020, seq=8, taken=False, target=0x4000),
+    # 64-bit extremes in every Q column, 16-bit extreme in tid.
+    MicroOp(OpKind.LOAD, pc=U64_MAX, addr=U64_MAX, deps=(U64_MAX,),
+            seq=U64_MAX, tid=U16_MAX, is_os=True, taken=True,
+            target=U64_MAX),
+    # Zeroes everywhere.
+    MicroOp(OpKind.ALU, pc=0, addr=0, deps=(), seq=0, tid=0, target=0),
+]
+
+
+class TestRoundTrip:
+    def test_every_field_of_every_edge_uop(self):
+        stream = encode_stream(EDGE_UOPS)
+        decoded = list(stream.decode())
+        assert len(decoded) == len(EDGE_UOPS)
+        for original, restored in zip(EDGE_UOPS, decoded):
+            assert fields_of(restored) == fields_of(original)
+
+    def test_decoded_types_are_canonical(self):
+        stream = encode_stream(EDGE_UOPS)
+        for uop in stream.decode():
+            assert isinstance(uop.deps, tuple)
+            assert isinstance(uop.is_os, bool)
+            assert isinstance(uop.taken, bool)
+
+    def test_decode_is_repeatable(self):
+        stream = encode_stream(EDGE_UOPS)
+        first = [fields_of(u) for u in stream.decode()]
+        second = [fields_of(u) for u in stream.decode()]
+        assert first == second
+
+    def test_long_dependency_list(self):
+        deps = tuple(range(1, 1001))
+        stream = encode_stream([MicroOp(OpKind.ALU, pc=8, deps=deps,
+                                        seq=1001)])
+        (decoded,) = stream.decode()
+        assert decoded.deps == deps
+
+    def test_live_stream_round_trips(self):
+        from repro.core.workloads import build_app
+
+        uops = list(build_app("sat-solver", seed=7).trace(0, 500))
+        decoded = list(encode_stream(uops).decode())
+        assert [fields_of(u) for u in decoded] == \
+            [fields_of(u) for u in uops]
+
+
+class TestContainerBehaviour:
+    def test_len_and_nbytes(self):
+        stream = encode_stream(EDGE_UOPS)
+        assert len(stream) == len(EDGE_UOPS)
+        total_deps = sum(len(u.deps) for u in EDGE_UOPS)
+        itemsize = {"B": 1, "H": 2, "Q": 8}
+        per_uop = sum(itemsize[code] for name, code in COLUMNS
+                      if name != "deps")
+        assert stream.nbytes() == \
+            len(EDGE_UOPS) * per_uop + total_deps * 8
+
+    def test_equality(self):
+        assert encode_stream(EDGE_UOPS) == encode_stream(EDGE_UOPS)
+        assert encode_stream(EDGE_UOPS) != encode_stream(EDGE_UOPS[:-1])
+        assert encode_stream([]) == EncodedStream()
+
+    def test_from_columns_round_trips(self):
+        stream = encode_stream(EDGE_UOPS)
+        raw = {name: column.tobytes()
+               for (name, _), column in zip(COLUMNS, stream.columns())}
+        assert EncodedStream.from_columns(raw) == stream
+
+    def test_from_columns_rejects_misaligned_bytes(self):
+        stream = encode_stream(EDGE_UOPS)
+        raw = {name: column.tobytes()
+               for (name, _), column in zip(COLUMNS, stream.columns())}
+        raw["pc"] = raw["pc"][:-3]  # not a multiple of the itemsize
+        with pytest.raises(ValueError):
+            EncodedStream.from_columns(raw)
+
+
+class TestOverflowDiscipline:
+    @pytest.mark.parametrize("uop", [
+        MicroOp(OpKind.ALU, pc=-1),
+        MicroOp(OpKind.ALU, pc=8, addr=-5),
+        MicroOp(OpKind.ALU, pc=8, seq=-1),
+        MicroOp(OpKind.ALU, pc=8, deps=(-2,)),
+        MicroOp(OpKind.ALU, pc=8, target=-1),
+        MicroOp(OpKind.ALU, pc=2**64),
+        MicroOp(OpKind.ALU, pc=8, tid=U16_MAX + 1),
+        MicroOp(-1, pc=8),
+        MicroOp(256, pc=8),
+    ])
+    def test_out_of_range_fields_raise(self, uop):
+        with pytest.raises(OverflowError):
+            EncodedStream().append(uop)
+
+    def test_encode_stream_propagates_the_failure(self):
+        # Capture must abort loudly on an unencodable uop — the failed
+        # stream is discarded, never persisted in a truncated form.
+        bad = EDGE_UOPS[:2] + [MicroOp(OpKind.ALU, pc=-1)]
+        with pytest.raises(OverflowError):
+            encode_stream(bad)

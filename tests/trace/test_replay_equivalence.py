@@ -1,0 +1,90 @@
+"""Replay equivalence: decoded replay is byte-identical to live timing.
+
+This is the contract the whole refactor rests on: for every workload in
+the registry, feeding a core the captured-and-decoded stream produces a
+``CoreResult`` whose ``to_counters()`` matches a live generation run
+exactly — not approximately.  The live side below is the pre-refactor
+runner path, spelled through the same ``LiveSource`` the SMT runs use.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.workloads import REGISTRY
+from repro.faults.plan import FaultPlan
+from repro.trace.capture import TraceKey, build_app_for, capture
+from repro.trace.live import LiveSource
+from repro.trace.replay import replay_trace
+from repro.trace.store import deserialize, serialize
+from repro.uarch.core import Core
+from repro.uarch.hierarchy import MemoryHierarchy
+from repro.uarch.params import MachineParams
+
+WINDOW = 6_000
+WARM = 2_000
+
+
+def live_counters(key: TraceKey, params: MachineParams) -> dict:
+    """A live measurement: generation feeds the core directly."""
+    app = build_app_for(key)
+    source = LiveSource(app, budgets=(key.window_uops,),
+                        label=key.label(), warm_uops=key.warm_uops)
+    hierarchy = MemoryHierarchy(params)
+    source.warm_into(hierarchy)
+    result = Core(params, hierarchy).run(source.streams())
+    return dict(result.to_counters().values)
+
+
+def replayed_counters(key: TraceKey, params: MachineParams) -> dict:
+    """The same measurement through capture, encode, decode, replay."""
+    captured, _app = capture(key)
+    return dict(replay_trace(captured, params).to_counters().values)
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_every_registered_workload(name):
+    key = TraceKey(name, window_uops=WINDOW, warm_uops=WARM)
+    params = MachineParams()
+    assert replayed_counters(key, params) == live_counters(key, params)
+
+
+def test_group_member_key():
+    key = TraceKey("parsec-cpu", member="blackscholes",
+                   window_uops=WINDOW // 2, warm_uops=WARM // 2)
+    params = MachineParams()
+    assert replayed_counters(key, params) == live_counters(key, params)
+
+
+def test_fault_plan_runs_replay_identically():
+    plan = FaultPlan.degraded(seed=3, intensity=1.5)
+    key = TraceKey("data-serving", window_uops=WINDOW, warm_uops=WARM,
+                   fault_plan=plan)
+    params = MachineParams()
+    assert replayed_counters(key, params) == live_counters(key, params)
+
+
+def test_one_capture_serves_many_machine_configs():
+    """The machine-independence invariant, stated directly.
+
+    One captured trace replayed under two different machine parameter
+    sets must match a live run under each — i.e. nothing about the
+    capture depends on the machine the trace is later timed on.
+    """
+    key = TraceKey("web-search", window_uops=WINDOW, warm_uops=WARM)
+    captured, _app = capture(key)
+    baseline = MachineParams()
+    variant = baseline.with_llc_mb(4)
+    for params in (baseline, variant):
+        replayed = dict(replay_trace(captured, params).to_counters().values)
+        assert replayed == live_counters(key, params)
+
+
+def test_store_round_trip_preserves_counters():
+    """Persisting and re-reading the container changes nothing."""
+    key = TraceKey("mapreduce", window_uops=WINDOW, warm_uops=WARM)
+    captured, _app = capture(key)
+    params = MachineParams()
+    direct = dict(replay_trace(captured, params).to_counters().values)
+    restored = deserialize(serialize(captured))
+    assert dict(replay_trace(restored, params).to_counters().values) == direct
