@@ -1,0 +1,38 @@
+"""Figure 9 (extension): fleet tail latency and resilience counters."""
+
+from benchmarks.conftest import emit
+from repro.core.experiments import figure9_cluster
+
+
+def test_figure9_fleet_resilience(benchmark, harness_config, results_dir):
+    table = benchmark.pedantic(
+        figure9_cluster.run,
+        args=(harness_config,),
+        rounds=1, iterations=1,
+    )
+    emit(results_dir, "figure9", table)
+
+    # Durability is non-negotiable: with R = 2, no fault scenario in
+    # the grid may lose a quorum-acknowledged write.
+    assert all(int(row["Lost"]) == 0 for row in table.rows)
+
+    # The healthy baseline serves everything; every fault column pays
+    # a visible tail-latency premium over it at the same fleet size.
+    for fleet in figure9_cluster.DEFAULT_FLEETS:
+        rows = {row["Fault"]: row for row in table.rows
+                if row["Fleet"] == fleet and row["Skew"] == "uniform"}
+        assert float(rows["none"]["Goodput"]) == 1.0
+        for fault in ("node-crash", "slow-node", "partition"):
+            assert (int(rows[fault]["p999 (us)"])
+                    > int(rows["none"]["p999 (us)"])), (fleet, fault)
+
+    # Bigger fleets spread the same load: the hottest node's share of
+    # busy time shrinks monotonically on the healthy uniform rows.
+    shares = [float(row["Hot share"]) for row in table.rows
+              if row["Fault"] == "none" and row["Skew"] == "uniform"]
+    assert shares == sorted(shares, reverse=True)
+
+    # Faults surface in the resilience counters, not just the tail.
+    crashed = [row for row in table.rows if row["Fault"] == "node-crash"]
+    assert all(int(row["Eject"]) >= 1 for row in crashed)
+    assert sum(int(row["Retries"]) for row in crashed) > 0

@@ -11,7 +11,11 @@ Commands:
     trace stats               trace-store totals and pipeline taps
     table1                    print Table 1
     figure1 .. figure7        regenerate one figure's table
+    figure9                   fleet tail-latency table (see `cluster`)
     faults [workload...]      healthy vs. degraded-mode table (Figure 8)
+    cluster [workload]        simulated-fleet sweep (Figure 9): replicated
+                              sharding, health-checked balancing, hedged
+                              requests, CO-safe tail latency
     ablations                 run the §4-implications ablations
     verify                    check every paper claim against fresh runs
     all                       regenerate every table and figure
@@ -31,6 +35,8 @@ Options:
                   before the sweep reports it (default 2)
     --resume      rerun only the cells missing from an interrupted
                   sweep's checkpoint journal
+    --fleet N     cluster/figure9: sweep only this fleet size
+    --replication R  cluster/figure9: replicas per shard (default 2)
     --no-cache    bypass the in-process and on-disk result caches
     --bars        render figures as ASCII bar charts instead of tables
     --fresh       discard the faults sweep manifest before running
@@ -55,7 +61,8 @@ from dataclasses import dataclass
 from repro.core.runner import RunConfig
 
 #: Flags that consume the following token as an integer value.
-_VALUE_FLAGS = ("--window", "--warm", "--seed", "--jobs", "--retries")
+_VALUE_FLAGS = ("--window", "--warm", "--seed", "--jobs", "--retries",
+                "--fleet", "--replication")
 #: Flags that consume the following token as a float value.
 _FLOAT_FLAGS = ("--timeout",)
 #: Boolean switches.
@@ -74,6 +81,8 @@ class CliOptions:
     retries: int = 2
     resume: bool = False
     check: bool = False
+    fleet: int | None = None
+    replication: int = 2
 
 
 def _usage_error(message: str) -> None:
@@ -91,7 +100,7 @@ def _parse_config(args: list[str]) -> tuple[list[str], RunConfig, CliOptions]:
     a raw ``StopIteration``/``ValueError`` traceback.
     """
     values = {"--window": 80_000, "--warm": None, "--seed": 7, "--jobs": 1,
-              "--retries": 2}
+              "--retries": 2, "--fleet": None, "--replication": 2}
     floats: dict[str, float | None] = {"--timeout": None}
     switches = {name: False for name in _SWITCH_FLAGS}
     rest: list[str] = []
@@ -126,6 +135,11 @@ def _parse_config(args: list[str]) -> tuple[list[str], RunConfig, CliOptions]:
     timeout = floats["--timeout"]
     if timeout is not None and timeout <= 0:
         _usage_error(f"--timeout must be positive, got {timeout:g}")
+    if values["--fleet"] is not None and values["--fleet"] < 1:
+        _usage_error(f"--fleet must be >= 1, got {values['--fleet']}")
+    if values["--replication"] < 1:
+        _usage_error(
+            f"--replication must be >= 1, got {values['--replication']}")
     window = values["--window"]
     warm = values["--warm"]
     config = RunConfig(window_uops=window,
@@ -136,7 +150,9 @@ def _parse_config(args: list[str]) -> tuple[list[str], RunConfig, CliOptions]:
                          no_cache=switches["--no-cache"],
                          timeout=timeout, retries=values["--retries"],
                          resume=switches["--resume"],
-                         check=switches["--check"])
+                         check=switches["--check"],
+                         fleet=values["--fleet"],
+                         replication=values["--replication"])
     return rest, config, options
 
 
@@ -405,6 +421,34 @@ def main(argv: list[str] | None = None) -> int:
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
+        print(table.to_text())
+        return 0
+    if command == "cluster":
+        from repro.core.experiments import figure9_cluster
+        from repro.core.store import ResultStore, default_cache_dir
+        from repro.core.supervise import SweepCellError
+        from repro.cluster.sweep import ClusterSweepEngine
+        from repro.faults.retry import RetryPolicy
+
+        store = None if options.no_cache else ResultStore()
+        policy = RetryPolicy.for_harness(timeout=options.timeout,
+                                         retries=options.retries)
+        engine = ClusterSweepEngine(
+            jobs=options.jobs, use_cache=not options.no_cache, store=store,
+            retry=policy, checkpoint_dir=default_cache_dir() / "checkpoints",
+            resume=options.resume)
+        workload = args[1] if len(args) > 1 else "data-serving"
+        fleets = [options.fleet] if options.fleet is not None else None
+        try:
+            table = figure9_cluster.run(
+                config, engine=engine, workload=workload, fleets=fleets,
+                replication=options.replication)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        except SweepCellError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         print(table.to_text())
         return 0
     if command == "verify":

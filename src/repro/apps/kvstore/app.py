@@ -52,6 +52,21 @@ class DataServingApp(ServerApp):
         ("gc_remark", 72, "scatter", 6, 0.15),
     ]
 
+    #: Per-operation service costs (simulated microseconds) for the
+    #: fleet layer (:mod:`repro.cluster`): a replica's uncontended time
+    #: to execute each request class.  Ratios mirror the serve() path —
+    #: an update walks the memtable + commit log, a hinted write is the
+    #: short hint-log append from ``fault_replica_crash``, read repair
+    #: the index walk from ``fault_request_drop``, and a health probe
+    #: is a gossip round trip with no storage work.
+    CLUSTER_SERVICE_COSTS = {
+        "read": 420,
+        "update": 660,
+        "hint": 150,
+        "repair": 260,
+        "probe": 40,
+    }
+
     def __init__(self, seed: int = 0, record_count: int = 300_000,
                  record_bytes: int = 256) -> None:
         self.record_count = record_count

@@ -45,6 +45,19 @@ class WebSearchApp(ServerApp):
         ("partial_merge", 48, "scatter", 8, 0.2),
     ]
 
+    #: Per-operation service costs (simulated microseconds) for the
+    #: fleet layer (:mod:`repro.cluster`).  A query dominates (posting
+    #: merge + rank + snippets); "update" is the incremental index
+    #: apply an ISN replica performs when a refreshed shard segment
+    #: lands; hints/repair move segment deltas between replicas.
+    CLUSTER_SERVICE_COSTS = {
+        "read": 1_400,
+        "update": 900,
+        "hint": 200,
+        "repair": 350,
+        "probe": 40,
+    }
+
     def __init__(self, seed: int = 0, num_terms: int = 30_000,
                  num_docs: int = 150_000) -> None:
         self.num_terms = num_terms

@@ -1,0 +1,44 @@
+"""The fault-tolerant simulated fleet (figure 9).
+
+The paper measures one scale-out blade; this package models the *fleet*
+those blades form in production: consistent-hash sharding with R-way
+replication and hinted handoff, a health-checked load balancer with
+outlier ejection, timeout/backoff/hedging clients, and open-loop
+arrivals recorded coordinated-omission-safe — all on a deterministic
+simulated-microsecond event loop (never the wall clock; the
+``cluster-clock`` lint rule enforces it).
+"""
+
+from repro.cluster.balancer import LoadBalancer
+from repro.cluster.backend import ReplicaBackend, build_backend
+from repro.cluster.clock import Event, EventLoop
+from repro.cluster.faults import (CLUSTER_FAULT_KINDS, CLUSTER_FAULT_PLANS,
+                                  ClusterFaultEvent, ClusterFaultPlan)
+from repro.cluster.node import Node, NodeCounters
+from repro.cluster.recorder import LatencyRecorder
+from repro.cluster.ring import HashRing
+from repro.cluster.service import (ClusterConfig, ClusterService,
+                                   default_cluster_policy, simulate)
+from repro.cluster.sweep import ClusterCell, ClusterSweepEngine
+
+__all__ = [
+    "CLUSTER_FAULT_KINDS",
+    "CLUSTER_FAULT_PLANS",
+    "ClusterCell",
+    "ClusterConfig",
+    "ClusterFaultEvent",
+    "ClusterFaultPlan",
+    "ClusterService",
+    "ClusterSweepEngine",
+    "Event",
+    "EventLoop",
+    "HashRing",
+    "LatencyRecorder",
+    "LoadBalancer",
+    "Node",
+    "NodeCounters",
+    "ReplicaBackend",
+    "build_backend",
+    "default_cluster_policy",
+    "simulate",
+]

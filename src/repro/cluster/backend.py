@@ -1,0 +1,78 @@
+"""Per-node application replicas the fleet layer hosts.
+
+A backend is the *state machine* side of an app instance: it holds the
+replica's durable contents (what survives a process crash, as a real
+commit log would provide) and prices each request class in simulated
+microseconds.  The costs come straight from the application classes —
+``DataServingApp.CLUSTER_SERVICE_COSTS`` / ``WebSearchApp
+.CLUSTER_SERVICE_COSTS`` — so the fleet model and the
+microarchitectural model describe the same software.
+
+The versioned write state is what makes the fleet's headline invariant
+*checkable* rather than asserted: every quorum-acknowledged write must
+still be readable from some replica (or hint log) after the fault plan
+has done its worst.
+"""
+
+from __future__ import annotations
+
+
+class ReplicaBackend:
+    """A versioned key-value replica with per-op service costs."""
+
+    def __init__(self, costs: dict[str, int]) -> None:
+        for op in ("read", "update", "hint", "repair", "probe"):
+            if costs.get(op, 0) <= 0:
+                raise ValueError(f"backend needs a positive cost for {op!r}")
+        self._costs = dict(costs)
+        #: key -> highest applied write version (durable).
+        self.versions: dict[int, int] = {}
+        #: intended-owner node id -> [(key, version), ...] hinted writes
+        #: held for a replica that was down when the write arrived.
+        self.hints: dict[int, list[tuple[int, int]]] = {}
+
+    def cost(self, op: str) -> int:
+        """The uncontended service cost of one ``op``, in microseconds."""
+        return self._costs[op]
+
+    # -- replica state -----------------------------------------------------
+    def apply(self, key: int, version: int) -> None:
+        """Apply one write (idempotent; newest version wins)."""
+        if version > self.versions.get(key, 0):
+            self.versions[key] = version
+
+    def version_of(self, key: int) -> int:
+        """The replica's applied version for ``key`` (0 = never seen)."""
+        return self.versions.get(key, 0)
+
+    def store_hint(self, owner: int, key: int, version: int) -> None:
+        """Durably queue a write intended for the down node ``owner``."""
+        self.hints.setdefault(owner, []).append((key, version))
+
+    def take_hints(self, owner: int) -> list[tuple[int, int]]:
+        """Remove and return every hint held for ``owner``."""
+        return self.hints.pop(owner, [])
+
+    def hinted_version_of(self, key: int) -> int:
+        """The highest version held for ``key`` in this hint log."""
+        best = 0
+        for pending in self.hints.values():
+            for hint_key, version in pending:
+                if hint_key == key and version > best:
+                    best = version
+        return best
+
+
+def build_backend(workload: str) -> ReplicaBackend:
+    """A replica backend for one of the fleet-capable workloads."""
+    if workload == "data-serving":
+        from repro.apps.kvstore import DataServingApp
+
+        return ReplicaBackend(DataServingApp.CLUSTER_SERVICE_COSTS)
+    if workload == "web-search":
+        from repro.apps.websearch import WebSearchApp
+
+        return ReplicaBackend(WebSearchApp.CLUSTER_SERVICE_COSTS)
+    raise KeyError(
+        f"workload {workload!r} has no cluster backend; "
+        "known: data-serving, web-search")

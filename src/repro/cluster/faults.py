@@ -1,0 +1,102 @@
+"""Fleet-level fault plans: crash, slow node, shard partition.
+
+These are distinct from the per-node :class:`repro.faults.plan.FaultPlan`
+(which degrades a single server's request stream on its own request
+clock): a :class:`ClusterFaultPlan` schedules *fleet* events on the
+simulated-time clock — a node process dying and later recovering, a
+node running slow for a window, a shard's replicas partitioned away.
+Plans are frozen values so they fingerprint via
+:func:`repro.core.sweep.canonical` like every other sweep config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+CLUSTER_FAULT_KINDS = (
+    "node-crash",   # target node dies at at_us, recovers duration_us later
+    "slow-node",    # target node's service times inflate for duration_us
+    "partition",    # the shard owning key `target` loses its replicas
+)
+
+
+@dataclass(frozen=True)
+class ClusterFaultEvent:
+    """One scheduled fleet fault.
+
+    ``target`` is a node id for node-scoped kinds and a *key* for
+    ``partition`` (the shard that owns the key is what partitions —
+    this keeps the event meaningful across fleet sizes).  ``severity``
+    scales the effect: the slow-node inflation factor is
+    ``1 + 3 * severity``.
+    """
+
+    kind: str
+    target: int
+    at_us: int
+    duration_us: int
+    severity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in CLUSTER_FAULT_KINDS:
+            raise ValueError(f"unknown cluster fault kind {self.kind!r}; "
+                             f"known: {', '.join(CLUSTER_FAULT_KINDS)}")
+        if self.at_us < 0:
+            raise ValueError("at_us must be non-negative")
+        if self.duration_us < 1:
+            raise ValueError("duration_us must be positive")
+        if not 0.0 < self.severity <= 1.0:
+            raise ValueError("severity must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class ClusterFaultPlan:
+    """A named, ordered schedule of fleet faults."""
+
+    name: str = "none"
+    events: tuple[ClusterFaultEvent, ...] = field(default_factory=tuple)
+
+    def is_empty(self) -> bool:
+        return not self.events
+
+    # -- the figure-9 scenario constructors --------------------------------
+    @classmethod
+    def none(cls) -> "ClusterFaultPlan":
+        """Healthy fleet: the baseline every fault column compares to."""
+        return cls()
+
+    @classmethod
+    def node_crash(cls, at_us: int = 40_000,
+                   duration_us: int = 120_000) -> "ClusterFaultPlan":
+        """Node 0 (always a primary for some shards) dies and later
+        recovers; hinted writes replay on recovery."""
+        return cls(name="node-crash", events=(
+            ClusterFaultEvent("node-crash", target=0, at_us=at_us,
+                              duration_us=duration_us),))
+
+    @classmethod
+    def slow_node(cls, at_us: int = 40_000, duration_us: int = 120_000,
+                  severity: float = 1.0) -> "ClusterFaultPlan":
+        """Node 0 becomes a fleet-wide straggler (GC storm, noisy
+        neighbour): every service time inflates for the window."""
+        return cls(name="slow-node", events=(
+            ClusterFaultEvent("slow-node", target=0, at_us=at_us,
+                              duration_us=duration_us, severity=severity),))
+
+    @classmethod
+    def shard_partition(cls, key: int = 0, at_us: int = 40_000,
+                        duration_us: int = 90_000) -> "ClusterFaultPlan":
+        """The replicas of ``key``'s shard drop off the network and heal
+        later — the scenario hinted handoff exists for."""
+        return cls(name="partition", events=(
+            ClusterFaultEvent("partition", target=key, at_us=at_us,
+                              duration_us=duration_us),))
+
+
+#: The scenario column of figure 9, by name.
+CLUSTER_FAULT_PLANS = {
+    "none": ClusterFaultPlan.none,
+    "node-crash": ClusterFaultPlan.node_crash,
+    "slow-node": ClusterFaultPlan.slow_node,
+    "partition": ClusterFaultPlan.shard_partition,
+}

@@ -1,0 +1,93 @@
+"""Coordinated-omission-safe latency recording.
+
+The classic benchmarking mistake (Tene's "coordinated omission"): a
+closed-loop client that waits for each response before sending the next
+request silently stops *measuring* exactly when the system stalls, so
+the recorded tail misses the stall it should be dominated by.  The fix
+is intended-start accounting over an open-loop arrival schedule: every
+request has an arrival time fixed by the load process alone, and its
+latency is ``completion - intended_start`` — queueing delay caused by a
+stalled server counts against the server, not the schedule.
+
+All samples are integer simulated microseconds and percentiles are
+nearest-rank over the full (unsampled) population, so summaries are
+byte-identical across processes.
+"""
+
+from __future__ import annotations
+
+
+class LatencyRecorder:
+    """Intended-start latency accounting for one simulated run."""
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.successes = 0
+        self.failures = 0
+        self.retries = 0
+        self.hedges = 0
+        self.timeouts = 0
+        self.drops = 0
+        self._latencies: list[int] = []
+
+    def observe(self, intended_us: int, completed_us: int, ok: bool,
+                retries: int = 0, hedged: bool = False,
+                timed_out: bool = False, dropped: bool = False) -> None:
+        """Record one request against its *intended* start time."""
+        if completed_us < intended_us:
+            raise ValueError("completion precedes intended start")
+        self.requests += 1
+        if ok:
+            self.successes += 1
+        else:
+            self.failures += 1
+        self.retries += retries
+        if hedged:
+            self.hedges += 1
+        if timed_out:
+            self.timeouts += 1
+        if dropped:
+            self.drops += 1
+        self._latencies.append(completed_us - intended_us)
+
+    # -- derived -----------------------------------------------------------
+    def goodput(self) -> float:
+        return self.successes / self.requests if self.requests else 0.0
+
+    def percentile(self, q: float) -> int:
+        """Nearest-rank quantile over every recorded request."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self._latencies:
+            return 0
+        ordered = sorted(self._latencies)
+        rank = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[rank]
+
+    def p50(self) -> int:
+        return self.percentile(0.50)
+
+    def p99(self) -> int:
+        return self.percentile(0.99)
+
+    def p999(self) -> int:
+        return self.percentile(0.999)
+
+    def max_latency(self) -> int:
+        return max(self._latencies) if self._latencies else 0
+
+    def summary(self) -> dict[str, float | int]:
+        return {
+            "requests": self.requests,
+            "successes": self.successes,
+            "failures": self.failures,
+            "goodput": self.goodput(),
+            "retries": self.retries,
+            "hedges": self.hedges,
+            "timeouts": self.timeouts,
+            "drops": self.drops,
+            "p50": self.p50(),
+            "p99": self.p99(),
+            "p999": self.p999(),
+            "max": self.max_latency(),
+        }

@@ -1,0 +1,69 @@
+"""Consistent-hash sharding with R-way replication.
+
+Keys and nodes are placed on one hash ring (Dynamo/Cassandra style):
+each node owns ``vnodes`` points, a key's *preference list* is the
+first R distinct nodes clockwise from the key's point.  Placement
+hashes go through :func:`~repro.machine.hashing.stable_hash`, so the
+ring — and therefore every shard assignment in a figure — is identical
+across processes and interpreters.
+"""
+
+from __future__ import annotations
+
+from repro.machine.hashing import stable_hash
+
+
+class HashRing:
+    """A fixed ring of virtual node points over integer node ids."""
+
+    def __init__(self, node_ids: list[int], vnodes: int = 48) -> None:
+        if not node_ids:
+            raise ValueError("a ring needs at least one node")
+        if vnodes < 1:
+            raise ValueError("vnodes must be positive")
+        self.node_ids = list(node_ids)
+        points: list[tuple[int, int]] = []
+        for node_id in self.node_ids:
+            for replica in range(vnodes):
+                points.append(
+                    (stable_hash(("ring-point", node_id, replica)), node_id))
+        # Points collide only if stable_hash collides; break ties by
+        # node id so even that case stays deterministic.
+        points.sort()
+        self._points = points
+
+    def _start_index(self, key: int | str) -> int:
+        target = stable_hash(("ring-key", key))
+        lo, hi = 0, len(self._points)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._points[mid][0] < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo % len(self._points)
+
+    def walk(self, key: int | str):
+        """Every node id, in ring order from ``key``, each once."""
+        seen: dict[int, bool] = {}
+        start = self._start_index(key)
+        for offset in range(len(self._points)):
+            node_id = self._points[(start + offset) % len(self._points)][1]
+            if node_id not in seen:
+                seen[node_id] = True
+                yield node_id
+
+    def preference_list(self, key: int | str, count: int) -> list[int]:
+        """The first ``count`` distinct nodes clockwise from ``key``."""
+        if count < 1:
+            raise ValueError("count must be positive")
+        nodes = []
+        for node_id in self.walk(key):
+            nodes.append(node_id)
+            if len(nodes) == count:
+                break
+        return nodes
+
+    def shard_of(self, key: int | str) -> int:
+        """The key's home shard: the id of its primary replica."""
+        return self.preference_list(key, 1)[0]

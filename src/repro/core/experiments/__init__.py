@@ -15,6 +15,7 @@ from repro.core.experiments import (
     figure5,
     figure6,
     figure7,
+    figure9_cluster,
 )
 
 ALL_EXPERIMENTS = {
@@ -26,6 +27,7 @@ ALL_EXPERIMENTS = {
     "figure5": figure5,
     "figure6": figure6,
     "figure7": figure7,
+    "figure9": figure9_cluster,
 }
 
 __all__ = [
@@ -37,5 +39,6 @@ __all__ = [
     "figure5",
     "figure6",
     "figure7",
+    "figure9_cluster",
     "ALL_EXPERIMENTS",
 ]

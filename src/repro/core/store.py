@@ -37,7 +37,8 @@ import os
 import pathlib
 
 from repro.core.runner import RunConfig, WorkloadRun
-from repro.core.validate import check_result, validate_runs
+from repro.core.validate import (check_cluster_summary, check_result,
+                                 validate_cluster_summaries, validate_runs)
 from repro.faults.manifest import atomic_write_json
 from repro.faults.plan import FaultEvent, FaultPlan
 from repro.uarch.core import CoreResult
@@ -125,9 +126,12 @@ class ResultStore:
         return self.directory / f"{fingerprint}.json"
 
     def _decode(self, path: pathlib.Path,
-                fingerprint: str) -> tuple[list[WorkloadRun] | None, str | None]:
-        """``(runs, None)`` for a healthy document, ``(None, reason)``
-        for a defective one, ``(None, None)`` for a plain miss."""
+                fingerprint: str) -> tuple[dict | None, str | None]:
+        """``(payload, None)`` for a healthy document — ``{"runs":
+        [WorkloadRun, ...]}`` for microarchitectural results or
+        ``{"cluster": [summary, ...]}`` for fleet results —
+        ``(None, reason)`` for a defective one, ``(None, None)`` for a
+        plain miss."""
         try:
             text = path.read_text()
         except FileNotFoundError:
@@ -147,6 +151,18 @@ class ResultStore:
             return None, (f"fingerprint field {raw.get('fingerprint')!r} "
                           "does not match the filename (renamed or copied "
                           "document)")
+        if "cluster" in raw:
+            summaries = raw["cluster"]
+            if not isinstance(summaries, list):
+                return None, "cluster payload is not a list of summaries"
+            violations = [
+                f"summary {index}: {violation}"
+                for index, summary in enumerate(summaries)
+                for violation in check_cluster_summary(summary)
+            ]
+            if violations:
+                return None, "; ".join(violations)
+            return {"cluster": summaries}, None
         try:
             runs = [run_from_dict(entry) for entry in raw["runs"]]
         except (KeyError, TypeError, ValueError) as exc:
@@ -158,20 +174,51 @@ class ResultStore:
         ]
         if violations:
             return None, "; ".join(violations)
-        return runs, None
+        return {"runs": runs}, None
 
     def get(self, fingerprint: str) -> list[WorkloadRun] | None:
         """The stored runs for ``fingerprint``, or None on a miss.
 
         A *defective* document (torn, renamed, or physically
         implausible) is also a miss, but it is quarantined into
-        ``corrupt/`` first so the evidence survives recomputation.
+        ``corrupt/`` first so the evidence survives recomputation.  A
+        healthy *cluster* document under this fingerprint is a miss
+        too (fingerprints embed the cell kind, so this only happens if
+        a caller mixes keys).
         """
-        runs, defect = self._decode(self.path_for(fingerprint), fingerprint)
+        payload, defect = self._decode(self.path_for(fingerprint), fingerprint)
         if defect is not None:
             self.quarantine(fingerprint, defect)
             return None
-        return runs
+        if payload is None:
+            return None
+        return payload.get("runs")
+
+    def get_cluster(self, fingerprint: str) -> list[dict] | None:
+        """The stored fleet summaries for ``fingerprint``, or None.
+
+        Defective documents quarantine exactly as in :meth:`get`.
+        """
+        payload, defect = self._decode(self.path_for(fingerprint), fingerprint)
+        if defect is not None:
+            self.quarantine(fingerprint, defect)
+            return None
+        if payload is None:
+            return None
+        return payload.get("cluster")
+
+    def put_cluster(self, fingerprint: str, summaries: list[dict],
+                    validate: bool = True) -> None:
+        """Persist fleet-cell ``summaries`` under ``fingerprint``."""
+        if validate:
+            validate_cluster_summaries(
+                summaries, context=f"store put {fingerprint[:12]}")
+        document = {
+            "schema": SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "cluster": summaries,
+        }
+        atomic_write_json(self.path_for(fingerprint), document)
 
     def put(self, fingerprint: str, runs: list[WorkloadRun],
             validate: bool = True) -> None:
@@ -221,8 +268,8 @@ class ResultStore:
         defects: list[tuple[str, str]] = []
         if self.directory.is_dir():
             for path in sorted(self.directory.glob("*.json")):
-                runs, defect = self._decode(path, path.stem)
-                if runs is None and defect is None:
+                payload, defect = self._decode(path, path.stem)
+                if payload is None and defect is None:
                     continue  # removed while we scanned
                 scanned += 1
                 if defect is None:

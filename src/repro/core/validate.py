@@ -44,6 +44,8 @@ __all__ = [
     "check_result",
     "validate_result",
     "validate_runs",
+    "check_cluster_summary",
+    "validate_cluster_summaries",
 ]
 
 #: ``(os_counter, total_counter)`` pairs: OS activity is a subset.
@@ -155,3 +157,77 @@ def validate_runs(runs: Sequence, context: str = "sweep") -> None:
     for run in runs:
         validate_result(run.result, run.config.params,
                         context=f"{context}: run {run.name!r}")
+
+
+#: Counter keys every cluster summary must carry, all non-negative.
+_CLUSTER_COUNTERS = (
+    "requests", "successes", "failures", "retries", "hedges", "timeouts",
+    "drops", "p50", "p99", "p999", "max", "acked_writes", "acked_lost",
+    "ejections", "readmissions", "hints_stored", "hints_replayed",
+    "read_repairs", "probes", "latency_bound", "sim_us", "events_fired",
+)
+
+
+def check_cluster_summary(summary: dict) -> list[str]:
+    """Every violated invariant in one fleet-cell summary.
+
+    The fleet analogue of :func:`check_result`: a summary entering or
+    leaving persistence must be physically plausible — outcome counts
+    partition the requests, percentiles are ordered, every recorded
+    latency sits under the policy-derived bound, and no more
+    acknowledged writes are lost than were acknowledged.
+    """
+    violations: list[str] = []
+    if not isinstance(summary, dict):
+        return [f"summary is not an object: {summary!r}"]
+    for key in _CLUSTER_COUNTERS:
+        value = summary.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            violations.append(f"{key} is not an integer: {value!r}")
+        elif value < 0:
+            violations.append(f"{key} is negative ({value})")
+    if violations:
+        return violations  # arithmetic below assumes sane counters
+
+    if summary["successes"] + summary["failures"] != summary["requests"]:
+        violations.append(
+            "successes + failures must equal requests "
+            f"({summary['successes']} + {summary['failures']} "
+            f"!= {summary['requests']})")
+    if not summary["p50"] <= summary["p99"] <= summary["p999"] \
+            <= summary["max"]:
+        violations.append(
+            f"percentiles out of order (p50 {summary['p50']}, "
+            f"p99 {summary['p99']}, p999 {summary['p999']}, "
+            f"max {summary['max']})")
+    if summary["max"] > summary["latency_bound"]:
+        violations.append(
+            f"max latency {summary['max']} exceeds the policy bound "
+            f"{summary['latency_bound']} (the client gave up later than "
+            "its own timeout discipline allows)")
+    if summary["hedges"] > summary["requests"]:
+        violations.append(
+            f"hedges ({summary['hedges']}) exceed requests "
+            f"({summary['requests']})")
+    if summary["timeouts"] > summary["requests"]:
+        violations.append(
+            f"timeouts ({summary['timeouts']}) exceed requests "
+            f"({summary['requests']})")
+    if summary["acked_lost"] > summary["acked_writes"]:
+        violations.append(
+            f"acked_lost ({summary['acked_lost']}) exceeds acked_writes "
+            f"({summary['acked_writes']})")
+    goodput = summary.get("goodput")
+    if not isinstance(goodput, (int, float)) or isinstance(goodput, bool) \
+            or goodput != goodput or not 0.0 <= goodput <= 1.0:
+        violations.append(f"goodput must be in [0, 1]: {goodput!r}")
+    return violations
+
+
+def validate_cluster_summaries(summaries: Sequence[dict],
+                               context: str = "cluster") -> None:
+    """Raise :class:`ValidationError` on any implausible summary."""
+    for index, summary in enumerate(summaries):
+        violations = check_cluster_summary(summary)
+        if violations:
+            raise ValidationError(f"{context}: summary {index}", violations)

@@ -86,11 +86,16 @@ class ServiceMetrics:
         return self.retries / self.requests if self.requests else 0.0
 
     def percentile(self, q: float) -> int:
-        """The ``q``-quantile latency (nearest-rank, ``q`` in [0, 1])."""
-        if not self._latencies:
-            return 0
+        """The ``q``-quantile latency (nearest-rank, ``q`` in [0, 1]).
+
+        An out-of-range ``q`` is always a programming error and raises,
+        even on an empty reservoir; an empty reservoir with a valid
+        ``q`` reports 0 (no requests observed yet).
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0, 1]")
+        if not self._latencies:
+            return 0
         ordered = sorted(self._latencies)
         rank = min(len(ordered) - 1, int(q * len(ordered)))
         return ordered[rank]
@@ -102,6 +107,11 @@ class ServiceMetrics:
     def p99(self) -> int:
         """Tail latency: the 99th-percentile simulated service time."""
         return self.percentile(0.99)
+
+    def p999(self) -> int:
+        """Deep tail: the 99.9th percentile, where hedging earns its
+        keep (meaningful once a run observes ~1000+ requests)."""
+        return self.percentile(0.999)
 
     def summary(self) -> dict[str, float | int]:
         """The figure-8 row payload (JSON-serializable)."""
@@ -115,4 +125,5 @@ class ServiceMetrics:
             "drops": self.drops,
             "p50": self.p50(),
             "p99": self.p99(),
+            "p999": self.p999(),
         }

@@ -54,7 +54,10 @@ from repro.lint.rules.determinism import (  # noqa: E402
     UnseededRandomRule,
     WallClockRule,
 )
-from repro.lint.rules.layering import TraceLayerRule  # noqa: E402
+from repro.lint.rules.layering import (  # noqa: E402
+    ClusterClockRule,
+    TraceLayerRule,
+)
 from repro.lint.rules.robustness import (  # noqa: E402
     BlindExceptRule,
     FloatEqualityRule,
@@ -69,6 +72,7 @@ ALL_RULES: List[Type[Rule]] = [
     OrderDependenceRule,
     StableHashArgsRule,
     TraceLayerRule,
+    ClusterClockRule,
     BlindExceptRule,
     MutableDefaultRule,
     FloatEqualityRule,

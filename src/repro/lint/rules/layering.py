@@ -33,6 +33,70 @@ def _called_name(func: ast.expr) -> str | None:
     return None
 
 
+#: ``time`` module attributes that read a real clock or block on one.
+#: The simulated fleet advances time by popping events off a heap; any
+#: of these leaking into ``cluster/`` couples a run to the host.
+_CLOCK_FUNCS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "sleep",
+    "perf_counter", "perf_counter_ns", "process_time",
+    "process_time_ns",
+})
+
+#: Directory component whose files must stay on simulated time.
+_CLUSTER_DIR = "cluster"
+
+
+class ClusterClockRule(Rule):
+    """Wall-clock use inside the simulated fleet layer.
+
+    The global ``wallclock`` rule deliberately permits
+    ``time.monotonic``/``time.sleep`` because harness code timing *real*
+    work needs them.  ``repro/cluster`` has no real work: every duration
+    is simulated microseconds on the event loop, and a single
+    ``sleep()`` or ``monotonic()`` there silently breaks both
+    determinism and the capture-once/replay-many contract.  This rule
+    closes the gap the harness exemption leaves open, for that one
+    package.
+    """
+
+    name = "cluster-clock"
+    severity = "error"
+    description = ("the simulated fleet runs on EventLoop time only; "
+                   "time.monotonic/sleep/perf_counter have no meaning "
+                   "inside repro/cluster")
+
+    def _confined(self, path: str) -> bool:
+        return _CLUSTER_DIR in path.split("/")[:-1]
+
+    def check_file(self, ctx) -> Iterable[Finding]:
+        if not self._confined(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id == "time"
+                        and func.attr in _CLOCK_FUNCS):
+                    yield self.finding(
+                        ctx, node,
+                        f"time.{func.attr}() inside the cluster layer "
+                        "reads (or blocks on) the host clock; the fleet "
+                        "is simulated — schedule on the EventLoop and "
+                        "read loop.now instead")
+            elif (isinstance(node, ast.ImportFrom)
+                    and node.module == "time"):
+                bad = sorted(alias.name for alias in node.names
+                             if alias.name in _CLOCK_FUNCS)
+                if bad:
+                    yield self.finding(
+                        ctx, node,
+                        f"importing {', '.join(bad)} from time inside "
+                        "the cluster layer pulls the host clock into a "
+                        "simulated-time package; schedule on the "
+                        "EventLoop and read loop.now instead")
+
+
 class TraceLayerRule(Rule):
     """Direct trace consumption outside the trace layer.
 

@@ -1,9 +1,15 @@
-"""Request-popularity distributions.
+"""Request-popularity distributions and open-loop arrival processes.
 
 YCSB's Zipfian generator (Gray et al.'s algorithm, as used by the real
 YCSB) with the standard 0.99 skew constant, plus a scrambled variant
 that spreads the popular items across the keyspace — matching how YCSB
 hashes item ranks so that hot keys are not physically adjacent.
+
+The arrival processes generate *inter-arrival gaps* for open-loop load
+(requests arrive on the generator's schedule whether or not the server
+has answered — the precondition for coordinated-omission-safe latency
+measurement).  Gaps are integer simulated microseconds, a function only
+of the seed and the sequence of ``next_gap(now_us)`` calls.
 """
 
 from __future__ import annotations
@@ -91,3 +97,94 @@ class ScrambledZipf:
 
     def next(self) -> int:
         return self._fnv(self._zipf.next()) % self.n
+
+
+# -- open-loop arrival processes -------------------------------------------
+
+class PoissonArrivals:
+    """Memoryless arrivals: exponential gaps around ``mean_gap_us``."""
+
+    def __init__(self, mean_gap_us: int, seed: int = 0) -> None:
+        if mean_gap_us <= 0:
+            raise ValueError("mean_gap_us must be positive")
+        self.mean_gap_us = mean_gap_us
+        self._rng = random.Random(seed)
+
+    def next_gap(self, now_us: int) -> int:
+        return max(1, int(self._rng.expovariate(1.0 / self.mean_gap_us)))
+
+
+class DiurnalArrivals:
+    """Sinusoidally modulated Poisson arrivals (a compressed day).
+
+    The instantaneous rate swings by ``amplitude`` around the base rate
+    over one ``period_us`` cycle — the scale-out pattern of §2: fleets
+    are sized for the peak, so off-peak measurements without open-loop
+    accounting flatter the tail.
+    """
+
+    def __init__(self, mean_gap_us: int, period_us: int = 200_000,
+                 amplitude: float = 0.5, seed: int = 0) -> None:
+        if mean_gap_us <= 0:
+            raise ValueError("mean_gap_us must be positive")
+        if period_us <= 0:
+            raise ValueError("period_us must be positive")
+        if not 0.0 <= amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        self.mean_gap_us = mean_gap_us
+        self.period_us = period_us
+        self.amplitude = amplitude
+        self._rng = random.Random(seed)
+
+    def next_gap(self, now_us: int) -> int:
+        phase = 2.0 * math.pi * (now_us % self.period_us) / self.period_us
+        rate_scale = 1.0 + self.amplitude * math.sin(phase)
+        gap = self._rng.expovariate(rate_scale / self.mean_gap_us)
+        return max(1, int(gap))
+
+
+class BurstyArrivals:
+    """On/off arrivals: Poisson bursts separated by quiet periods.
+
+    During a burst the gap shrinks by ``burst_factor``; between bursts
+    it stretches by the same factor, keeping the long-run rate near the
+    base rate while concentrating queueing pressure.
+    """
+
+    def __init__(self, mean_gap_us: int, burst_us: int = 20_000,
+                 quiet_us: int = 60_000, burst_factor: float = 4.0,
+                 seed: int = 0) -> None:
+        if mean_gap_us <= 0:
+            raise ValueError("mean_gap_us must be positive")
+        if burst_us <= 0 or quiet_us <= 0:
+            raise ValueError("burst_us and quiet_us must be positive")
+        if burst_factor < 1.0:
+            raise ValueError("burst_factor must be >= 1")
+        self.mean_gap_us = mean_gap_us
+        self.burst_us = burst_us
+        self.quiet_us = quiet_us
+        self.burst_factor = burst_factor
+        self._rng = random.Random(seed)
+
+    def next_gap(self, now_us: int) -> int:
+        cycle = self.burst_us + self.quiet_us
+        in_burst = (now_us % cycle) < self.burst_us
+        mean = self.mean_gap_us / self.burst_factor if in_burst \
+            else self.mean_gap_us * self.burst_factor
+        return max(1, int(self._rng.expovariate(1.0 / mean)))
+
+
+#: Arrival-shape registry for the fleet figure's config grammar.
+ARRIVAL_SHAPES = {
+    "poisson": PoissonArrivals,
+    "diurnal": DiurnalArrivals,
+    "bursty": BurstyArrivals,
+}
+
+
+def build_arrivals(shape: str, mean_gap_us: int, seed: int = 0):
+    """An arrival process by shape name, at the given base rate."""
+    if shape not in ARRIVAL_SHAPES:
+        raise KeyError(f"unknown arrival shape {shape!r}; "
+                       f"known: {', '.join(ARRIVAL_SHAPES)}")
+    return ARRIVAL_SHAPES[shape](mean_gap_us, seed=seed)

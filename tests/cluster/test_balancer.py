@@ -1,0 +1,88 @@
+"""Outlier ejection and half-open readmission, deterministically."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.balancer import EJECT_THRESHOLD, MIN_SAMPLES, LoadBalancer
+
+
+def _eject(balancer: LoadBalancer, node_id: int, now: int) -> None:
+    for _ in range(MIN_SAMPLES):
+        balancer.record(node_id, now, False)
+
+
+def test_failures_below_min_samples_never_eject():
+    balancer = LoadBalancer([0, 1])
+    for _ in range(MIN_SAMPLES - 1):
+        balancer.record(0, 0, False)
+    assert balancer.healthy(0, 0)
+    assert balancer.ejections == 0
+
+
+def test_failure_rate_over_threshold_ejects():
+    balancer = LoadBalancer([0, 1], cooldown_us=1_000)
+    _eject(balancer, 0, now=10)
+    assert not balancer.healthy(0, 10)
+    assert balancer.ejections == 1
+    assert balancer.ejected_now(10) == [0]
+    assert balancer.healthy(1, 10)
+
+
+def test_mostly_successful_node_stays_healthy():
+    balancer = LoadBalancer([0])
+    outcomes = [True] * 12 + [False] * 4  # 25% < EJECT_THRESHOLD
+    assert EJECT_THRESHOLD > 0.25
+    for ok in outcomes:
+        balancer.record(0, 0, ok)
+    assert balancer.healthy(0, 0)
+
+
+def test_outcomes_during_cooldown_are_ignored():
+    balancer = LoadBalancer([0], cooldown_us=1_000)
+    _eject(balancer, 0, now=0)
+    balancer.record(0, 500, True)  # stale response from before ejection
+    assert not balancer.healthy(0, 500)
+    assert balancer.readmissions == 0
+
+
+def test_half_open_success_readmits():
+    balancer = LoadBalancer([0], cooldown_us=1_000)
+    _eject(balancer, 0, now=0)
+    assert balancer.half_open(0, 1_000)
+    balancer.record(0, 1_000, True)
+    assert balancer.healthy(0, 1_000)
+    assert not balancer.half_open(0, 1_000)
+    assert balancer.readmissions == 1
+    # The window restarts clean: one old failure cannot re-eject it.
+    balancer.record(0, 1_001, False)
+    assert balancer.healthy(0, 1_001)
+
+
+def test_half_open_failure_reejects_for_another_cooldown():
+    balancer = LoadBalancer([0], cooldown_us=1_000)
+    _eject(balancer, 0, now=0)
+    balancer.record(0, 1_000, False)
+    assert not balancer.healthy(0, 1_500)
+    assert balancer.healthy(0, 2_000)  # half-open again, not readmitted
+    assert balancer.half_open(0, 2_000)
+    assert balancer.ejections == 2
+    assert balancer.readmissions == 0
+
+
+def test_order_ranks_ejected_nodes_last_preserving_preference():
+    balancer = LoadBalancer([0, 1, 2], cooldown_us=10_000)
+    _eject(balancer, 1, now=0)
+    assert balancer.order([1, 0, 2], 0) == [0, 2, 1]
+    assert balancer.order([0, 1, 2], 0) == [0, 2, 1]
+    # Everyone ejected: preference order is the only order left.
+    _eject(balancer, 0, now=0)
+    _eject(balancer, 2, now=0)
+    assert balancer.order([2, 1, 0], 0) == [2, 1, 0]
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError, match="window"):
+        LoadBalancer([0], window=MIN_SAMPLES - 1)
+    with pytest.raises(ValueError, match="cooldown"):
+        LoadBalancer([0], cooldown_us=0)

@@ -1,0 +1,91 @@
+"""The simulated-time event loop: ordering, cancellation, guards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.clock import EventLoop
+
+
+def test_events_fire_in_time_order():
+    loop = EventLoop()
+    fired = []
+    loop.at(30, lambda: fired.append("c"))
+    loop.at(10, lambda: fired.append("a"))
+    loop.at(20, lambda: fired.append("b"))
+    assert loop.run() == 30
+    assert fired == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_scheduling_order():
+    loop = EventLoop()
+    fired = []
+    for label in ("first", "second", "third"):
+        loop.at(5, lambda lab=label: fired.append(lab))
+    loop.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_scheduling_into_the_past_is_rejected():
+    loop = EventLoop()
+    loop.at(10, lambda: loop.at(5, lambda: None))
+    with pytest.raises(ValueError, match="past"):
+        loop.run()
+
+
+def test_scheduling_at_now_is_allowed():
+    loop = EventLoop()
+    fired = []
+    loop.at(10, lambda: loop.at(10, lambda: fired.append("again")))
+    loop.run()
+    assert fired == ["again"]
+
+
+def test_negative_delay_is_rejected():
+    loop = EventLoop()
+    with pytest.raises(ValueError, match="non-negative"):
+        loop.after(-1, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    loop = EventLoop()
+    fired = []
+    event = loop.at(10, lambda: fired.append("cancelled"))
+    loop.at(20, lambda: fired.append("kept"))
+    event.cancel()
+    loop.run()
+    assert fired == ["kept"]
+    assert loop.fired == 1  # cancelled entries are skipped, not counted
+
+
+def test_horizon_guard_raises_on_runaway():
+    loop = EventLoop()
+
+    def reschedule():
+        loop.after(10, reschedule)
+
+    loop.at(0, reschedule)
+    with pytest.raises(RuntimeError, match="horizon"):
+        loop.run(horizon=100)
+
+
+def test_until_stops_a_self_rescheduling_loop():
+    loop = EventLoop()
+    ticks = []
+
+    def tick():
+        ticks.append(loop.now)
+        loop.after(10, tick)
+
+    loop.at(0, tick)
+    loop.run(until=lambda: len(ticks) >= 3)
+    assert ticks == [0, 10, 20]
+
+
+def test_len_reports_pending_entries():
+    loop = EventLoop()
+    loop.at(1, lambda: None)
+    loop.at(2, lambda: None)
+    assert len(loop) == 2
+    loop.run()
+    assert len(loop) == 0

@@ -1,0 +1,71 @@
+"""Coordinated-omission-safe accounting: intended-start latencies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.recorder import LatencyRecorder
+
+
+def test_latency_is_measured_from_intended_start():
+    recorder = LatencyRecorder()
+    # Completion at 900 for a request *intended* at 100: the 800us
+    # includes queueing the stalled server caused, not just service.
+    recorder.observe(100, 900, ok=True)
+    assert recorder.max_latency() == 800
+    assert recorder.p50() == 800
+
+
+def test_completion_before_intended_start_is_rejected():
+    recorder = LatencyRecorder()
+    with pytest.raises(ValueError, match="precedes"):
+        recorder.observe(100, 99, ok=True)
+
+
+def test_counters_accumulate():
+    recorder = LatencyRecorder()
+    recorder.observe(0, 10, ok=True, retries=2, hedged=True)
+    recorder.observe(0, 20, ok=False, timed_out=True)
+    recorder.observe(0, 30, ok=False, dropped=True)
+    assert recorder.requests == 3
+    assert recorder.successes == 1
+    assert recorder.failures == 2
+    assert recorder.retries == 2
+    assert recorder.hedges == 1
+    assert recorder.timeouts == 1
+    assert recorder.drops == 1
+    assert recorder.goodput() == pytest.approx(1 / 3)
+
+
+def test_nearest_rank_percentiles():
+    recorder = LatencyRecorder()
+    for latency in range(1, 1_001):  # 1..1000, inserted shuffled-ish
+        recorder.observe(0, latency, ok=True)
+    assert recorder.p50() == 501
+    assert recorder.p99() == 991
+    assert recorder.p999() == 1_000
+    assert recorder.percentile(0.0) == 1
+    assert recorder.percentile(1.0) == 1_000
+    assert recorder.p50() <= recorder.p99() <= recorder.p999() \
+        <= recorder.max_latency()
+
+
+def test_empty_recorder_reports_zeroes():
+    recorder = LatencyRecorder()
+    assert recorder.goodput() == 0.0
+    assert recorder.p999() == 0
+    assert recorder.max_latency() == 0
+    with pytest.raises(ValueError):
+        recorder.percentile(1.5)
+
+
+def test_summary_shape():
+    recorder = LatencyRecorder()
+    recorder.observe(0, 5, ok=True)
+    summary = recorder.summary()
+    assert set(summary) == {
+        "requests", "successes", "failures", "goodput", "retries",
+        "hedges", "timeouts", "drops", "p50", "p99", "p999", "max",
+    }
+    assert summary["requests"] == 1
+    assert summary["goodput"] == 1.0

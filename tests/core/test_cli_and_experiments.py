@@ -210,7 +210,7 @@ class TestExperimentRegistry:
     def test_every_figure_registered(self):
         assert set(ALL_EXPERIMENTS) == {
             "table1", "figure1", "figure2", "figure3", "figure4",
-            "figure5", "figure6", "figure7",
+            "figure5", "figure6", "figure7", "figure9",
         }
 
     def test_every_module_has_run(self):

@@ -37,7 +37,7 @@ class TestCounters:
         summary = m.summary()
         assert json.loads(json.dumps(summary)) == summary
         for key in ("requests", "goodput", "retry_rate", "retries",
-                    "hedges", "timeouts", "drops", "p50", "p99"):
+                    "hedges", "timeouts", "drops", "p50", "p99", "p999"):
             assert key in summary
 
 
@@ -54,11 +54,31 @@ class TestPercentiles:
     def test_empty_percentile_is_zero(self):
         assert ServiceMetrics().p99() == 0
 
+    def test_empty_reservoir_every_accessor(self):
+        # A fully ejected node or partitioned shard observes nothing;
+        # its window must report 0, not raise, at every quantile.
+        m = ServiceMetrics()
+        assert m.p50() == 0
+        assert m.p999() == 0
+        assert m.percentile(0.0) == 0
+        assert m.percentile(1.0) == 0
+
+    def test_p999_tracks_deep_tail(self):
+        m = ServiceMetrics()
+        for latency in range(1, 2_001):
+            m.observe(latency)
+        assert m.p99() <= m.p999() <= 2_000
+        assert m.p999() >= 1_990
+
     def test_rejects_out_of_range_quantile(self):
         m = ServiceMetrics()
         m.observe(1)
         with pytest.raises(ValueError):
             m.percentile(1.5)
+
+    def test_rejects_out_of_range_quantile_even_when_empty(self):
+        with pytest.raises(ValueError):
+            ServiceMetrics().percentile(-0.1)
 
 
 class TestSampling:

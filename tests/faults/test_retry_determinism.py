@@ -1,0 +1,91 @@
+"""Cross-process determinism of the retry policy's schedules.
+
+The fleet layer (and the historical client paths) trust that a policy
+plus a seed fully determines every backoff delay — across interpreters,
+across PYTHONHASHSEED, across machines.  These tests check it the hard
+way: a fresh subprocess must reproduce the parent's schedules byte for
+byte.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import subprocess
+import sys
+
+from repro.faults.retry import RetryPolicy
+
+_CHILD_SCRIPT = """
+import json, random, sys
+from repro.faults.retry import RetryPolicy
+
+policy = RetryPolicy(base_delay=500, multiplier=2.0, jitter=0.25,
+                     max_retries=4, cap_delay=4_000, timeout=6_000,
+                     hedge_after=2_500, retry_failure_p=0.3)
+out = {
+    "schedules": [policy.schedule(random.Random(seed))
+                  for seed in range(20)],
+    "resolutions": [policy.resolve_failure(random.Random(seed))
+                    for seed in range(20)],
+}
+json.dump(out, sys.stdout)
+"""
+
+
+def _parent_view() -> dict:
+    policy = RetryPolicy(base_delay=500, multiplier=2.0, jitter=0.25,
+                         max_retries=4, cap_delay=4_000, timeout=6_000,
+                         hedge_after=2_500, retry_failure_p=0.3)
+    return {
+        "schedules": [policy.schedule(random.Random(seed))
+                      for seed in range(20)],
+        "resolutions": [list(policy.resolve_failure(random.Random(seed)))
+                        for seed in range(20)],
+    }
+
+
+def test_schedules_are_byte_identical_across_processes():
+    child = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT],
+        capture_output=True, text=True, check=True)
+    assert json.dumps(json.loads(child.stdout), sort_keys=True) \
+        == json.dumps(_parent_view(), sort_keys=True)
+
+
+def test_same_seed_same_schedule_in_process():
+    policy = RetryPolicy()
+    first = policy.schedule(random.Random(123))
+    second = policy.schedule(random.Random(123))
+    assert first == second
+
+
+def test_zero_retries_means_empty_schedule():
+    policy = RetryPolicy(max_retries=0)
+    assert policy.schedule(random.Random(0)) == []
+    retries, succeeded, spent = policy.resolve_failure(random.Random(0))
+    assert (retries, succeeded, spent) == (0, False, 0)
+
+
+def test_harness_schedules_never_alias_client_schedules():
+    # The supervisor's wall-clock-seconds policies quantize nothing;
+    # the simulated clients' integer policies truncate every delay.
+    # One must never be mistaken for the other.
+    harness = RetryPolicy.for_harness(retries=3)
+    client = RetryPolicy(base_delay=1_500, cap_delay=12_000, max_retries=3)
+    rng = random.Random(7)
+    for delay in harness.schedule(rng):
+        assert isinstance(delay, float)
+    rng = random.Random(7)
+    for delay in client.schedule(rng):
+        assert isinstance(delay, int)
+
+
+def test_schedules_are_monotone_and_capped():
+    policy = RetryPolicy(base_delay=500, multiplier=3.0, jitter=1.0,
+                         max_retries=6, cap_delay=5_000)
+    for seed in range(50):
+        schedule = policy.schedule(random.Random(seed))
+        assert schedule == sorted(schedule)
+        assert all(delay <= policy.cap_delay for delay in schedule)
+        assert all(delay >= policy.base_delay for delay in schedule)

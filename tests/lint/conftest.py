@@ -55,6 +55,25 @@ CLEAN_FILES: dict[str, str] = {
                 result.cycles += 1
             return result
         """,
+    "cluster/clock.py": """
+        import heapq
+
+        class EventLoop:
+            def __init__(self):
+                self.now = 0
+                self._heap = []
+                self._seq = 0
+
+            def at(self, when, action):
+                heapq.heappush(self._heap, (when, self._seq, action))
+                self._seq += 1
+
+            def run(self):
+                while self._heap:
+                    when, _, action = heapq.heappop(self._heap)
+                    self.now = when
+                    action()
+        """,
     "core/validate.py": """
         _BOUNDED_PAIRS = (
             ("l1i_misses", "instructions"),

@@ -124,6 +124,57 @@ def test_annotated_core_result_argument_is_tracked(fixture_tree):
     assert "offchip_bytez" in findings[0].message
 
 
+def test_cluster_wallclock_call_is_flagged(fixture_tree):
+    # The harness exemption lets time.monotonic/sleep through the global
+    # wallclock rule; inside cluster/ the cluster-clock rule closes it.
+    mutate(fixture_tree, "cluster/clock.py", """
+        import time
+
+        class EventLoop:
+            def __init__(self):
+                self.now = 0
+
+            def run(self):
+                start = time.monotonic()
+                time.sleep(0.001)
+                self.now = time.monotonic() - start
+        """)
+    findings = run_lint(fixture_tree)
+    assert {f.rule for f in findings} == {"cluster-clock"}
+    assert len(findings) == 3
+    messages = " ".join(f.message for f in findings)
+    assert "time.monotonic" in messages and "time.sleep" in messages
+
+
+def test_cluster_time_from_import_is_flagged(fixture_tree):
+    mutate(fixture_tree, "cluster/clock.py", """
+        from time import monotonic, sleep
+
+        def wait(loop, delay):
+            deadline = monotonic() + delay
+            while monotonic() < deadline:
+                sleep(0)
+        """)
+    findings = run_lint(fixture_tree)
+    assert "cluster-clock" in {f.rule for f in findings}
+    flagged = [f for f in findings if f.rule == "cluster-clock"]
+    assert flagged[0].path == "cluster/clock.py"
+    assert "monotonic" in flagged[0].message
+    assert "sleep" in flagged[0].message
+
+
+def test_wallclock_outside_cluster_keeps_harness_exemption(fixture_tree):
+    # Same calls in a non-cluster path: the global wallclock rule's
+    # harness exemption applies, and cluster-clock stays out of scope.
+    mutate(fixture_tree, "core/deadline.py", """
+        import time
+
+        def expired(started, budget):
+            return time.monotonic() - started > budget
+        """)
+    assert run_lint(fixture_tree) == []
+
+
 def test_baseline_grandfathers_fixture_finding(fixture_tree, tmp_path,
                                                capsys):
     mutate(fixture_tree, "machine/structures.py", """

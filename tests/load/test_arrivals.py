@@ -1,0 +1,69 @@
+"""Open-loop arrival processes: seeded, positive, shape-registered."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.load.distributions import (ARRIVAL_SHAPES, BurstyArrivals,
+                                      DiurnalArrivals, PoissonArrivals,
+                                      build_arrivals)
+
+
+def _play(process, count: int = 2_000) -> list[int]:
+    gaps, now = [], 0
+    for _ in range(count):
+        gap = process.next_gap(now)
+        gaps.append(gap)
+        now += gap
+    return gaps
+
+
+@pytest.mark.parametrize("shape", sorted(ARRIVAL_SHAPES))
+def test_same_seed_same_schedule(shape):
+    first = _play(build_arrivals(shape, 150, seed=9))
+    second = _play(build_arrivals(shape, 150, seed=9))
+    assert first == second
+
+
+@pytest.mark.parametrize("shape", sorted(ARRIVAL_SHAPES))
+def test_gaps_are_positive_integers(shape):
+    for gap in _play(build_arrivals(shape, 150, seed=3), count=500):
+        assert isinstance(gap, int)
+        assert gap >= 1
+
+
+def test_poisson_mean_gap_is_near_nominal():
+    gaps = _play(PoissonArrivals(150, seed=1), count=20_000)
+    mean = sum(gaps) / len(gaps)
+    assert 130 < mean < 170
+
+
+def test_diurnal_rate_swings_with_phase():
+    # Sample many gaps near the rate peak (quarter period) and near the
+    # trough (three-quarter period): the peak must arrive faster.
+    process = DiurnalArrivals(150, period_us=200_000, amplitude=0.8, seed=2)
+    peak = [process.next_gap(50_000) for _ in range(5_000)]
+    trough = [process.next_gap(150_000) for _ in range(5_000)]
+    assert sum(peak) / len(peak) < sum(trough) / len(trough)
+
+
+def test_bursty_bursts_are_denser_than_quiet_spells():
+    process = BurstyArrivals(150, burst_us=20_000, quiet_us=60_000,
+                             burst_factor=4.0, seed=4)
+    burst = [process.next_gap(1_000) for _ in range(5_000)]
+    quiet = [process.next_gap(40_000) for _ in range(5_000)]
+    assert sum(burst) / len(burst) < sum(quiet) / len(quiet)
+
+
+def test_unknown_shape_raises():
+    with pytest.raises(KeyError, match="meteor"):
+        build_arrivals("meteor", 150)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        PoissonArrivals(0)
+    with pytest.raises(ValueError):
+        DiurnalArrivals(150, amplitude=1.0)
+    with pytest.raises(ValueError):
+        BurstyArrivals(150, burst_factor=0.5)
