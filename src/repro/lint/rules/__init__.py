@@ -54,6 +54,9 @@ from repro.lint.rules.determinism import (  # noqa: E402
     UnseededRandomRule,
     WallClockRule,
 )
+from repro.lint.rules.hotpath import (  # noqa: E402
+    MicroOpConstructionRule,
+)
 from repro.lint.rules.layering import (  # noqa: E402
     ClusterClockRule,
     TraceLayerRule,
@@ -73,6 +76,7 @@ ALL_RULES: List[Type[Rule]] = [
     StableHashArgsRule,
     TraceLayerRule,
     ClusterClockRule,
+    MicroOpConstructionRule,
     BlindExceptRule,
     MutableDefaultRule,
     FloatEqualityRule,

@@ -57,11 +57,14 @@ class EncodedStream:
     capture must fail loudly, never truncate.
     """
 
-    __slots__ = tuple(name for name, _ in COLUMNS)
+    __slots__ = tuple(name for name, _ in COLUMNS) + ("_batch",)
 
     def __init__(self) -> None:
         for name, typecode in COLUMNS:
             setattr(self, name, array(typecode))
+        # Lazily-built columnar view (see repro.trace.columns.batch_for);
+        # never serialized, compared, or counted against nbytes().
+        self._batch = None
 
     def __len__(self) -> int:
         return len(self.kind)
@@ -88,6 +91,7 @@ class EncodedStream:
 
     def append(self, uop: MicroOp) -> None:
         """Append one micro-op's fields to the columns."""
+        self._batch = None  # a stale columnar view must never survive
         self.kind.append(uop.kind)
         self.pc.append(uop.pc)
         self.addr.append(uop.addr)

@@ -3,12 +3,25 @@
 Replay is the per-configuration half of the pipeline: build a fresh
 :class:`~repro.uarch.hierarchy.MemoryHierarchy` for the machine
 parameters under test, functionally warm it from the captured fill
-ranges and warm stream, then run the core over the decoded measurement
-stream(s).  Because the decoded stream is field-identical to the live
-one (see :mod:`repro.trace.codec`), the resulting
-:class:`~repro.uarch.core.CoreResult` counters match a live run
-byte-for-byte — the replay-equivalence tests pin this for every
-workload in the registry.
+ranges and warm stream, then run the core over the measurement
+stream(s).
+
+Two engines execute the measurement window:
+
+* the **columnar** fast path (:func:`repro.uarch.fastpath.replay_columns`)
+  reads the encoded columns positionally through a
+  :class:`~repro.trace.columns.ColumnBatch` — no per-uop ``MicroOp``
+  objects, no generator resumes.  Selected for the common sweep shape:
+  one captured stream, no SMT, no fault plan;
+* the **general** loop (:meth:`repro.uarch.core.Core.run`) over decoded
+  streams handles everything else (SMT pairs, fault-injected captures).
+
+Both produce byte-identical :class:`~repro.uarch.core.CoreResult`
+counters — the replay-equivalence tests pin fast-vs-general and
+replay-vs-live for every workload in the registry.  Engine selection is
+a pure function of the run configuration (:func:`replay_path_for`) and
+participates in :func:`repro.core.sweep.config_fingerprint`, so cached
+results always record which engine produced them.
 
 No watchdog here: the stream length was bounded at capture time, so
 wrapping replay in a guard would only add per-uop overhead to the hot
@@ -17,9 +30,12 @@ path.
 
 from __future__ import annotations
 
+import gc
 from typing import TYPE_CHECKING, Iterable, Iterator, List, Protocol
 
+from repro.trace.columns import ColumnBatch, batch_for
 from repro.uarch.core import Core, CoreResult
+from repro.uarch.fastpath import replay_columns
 from repro.uarch.hierarchy import MemoryHierarchy
 from repro.uarch.params import MachineParams
 from repro.uarch.uop import MicroOp
@@ -28,7 +44,8 @@ if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.trace.capture import CapturedTrace
 
 __all__ = ["TraceSource", "ReplaySource", "fill_lines",
-           "functional_replay", "replay_trace"]
+           "functional_replay", "functional_replay_batch",
+           "replay_trace", "selected_replay_path", "replay_path_for"]
 
 
 class TraceSource(Protocol):
@@ -48,11 +65,16 @@ class TraceSource(Protocol):
 
 def fill_lines(hierarchy: MemoryHierarchy,
                ranges: Iterable[tuple[int, int]]) -> None:
-    """Install every line of ``(base, nbytes)`` ranges into the LLC."""
-    fill = hierarchy.llc.fill
+    """Install every line of ``(base, nbytes)`` ranges into the LLC.
+
+    The line size comes from the LLC being warmed — a 128-byte-line
+    hierarchy must be filled at 128-byte granularity, not a hardcoded
+    64 (walking such a hierarchy with a 64-byte step would double-count
+    every line's LRU touch and halve the effective reach of the walk).
+    """
+    llc = hierarchy.llc
     for base, nbytes in ranges:
-        for addr in range(base, base + nbytes, 64):
-            fill(addr)
+        llc.install_span(base, nbytes)
 
 
 def functional_replay(hierarchy: MemoryHierarchy,
@@ -62,12 +84,15 @@ def functional_replay(hierarchy: MemoryHierarchy,
     Orders LRU recency, fills L1/L2/TLBs, and trains the prefetcher
     tables — one instruction-fetch access per new code line plus the
     load/store data accesses, exactly the warming walk the live runner
-    performs.
+    performs.  The code-line granularity is the hierarchy's own
+    ``line_bytes`` (the same shift the core's fetch stage uses), not a
+    hardcoded 64.
     """
     last_line = -1
-    access = hierarchy.access
+    line_shift = hierarchy.params.line_bytes.bit_length() - 1
+    access = hierarchy.access_timed
     for uop in uops:
-        line = uop.pc >> 6
+        line = uop.pc >> line_shift
         if line != last_line:
             last_line = line
             access(uop.pc, False, True, uop.is_os)
@@ -76,6 +101,19 @@ def functional_replay(hierarchy: MemoryHierarchy,
             access(uop.addr, False, False, uop.is_os)
         elif kind == 2:  # STORE
             access(uop.addr, True, False, uop.is_os)
+
+
+def functional_replay_batch(hierarchy: MemoryHierarchy,
+                            batch: ColumnBatch) -> None:
+    """:func:`functional_replay`, batched over a column view.
+
+    Access-for-access identical to replaying the decoded stream — same
+    per-new-line instruction fetch, same load/store walk — with the
+    per-uop object construction and attribute loads hoisted out and the
+    hierarchy's own batched walk handling the per-access dispatch.
+    """
+    line_shift = hierarchy.params.line_bytes.bit_length() - 1
+    hierarchy.warm_batch(batch.access_ops(line_shift))
 
 
 class ReplaySource:
@@ -87,18 +125,73 @@ class ReplaySource:
     def warm_into(self, hierarchy: MemoryHierarchy) -> None:
         """Replay the captured fill ranges and warm stream."""
         fill_lines(hierarchy, self.captured.fill_ranges)
-        functional_replay(hierarchy, self.captured.warm.decode())
+        functional_replay_batch(hierarchy, batch_for(self.captured.warm))
 
     def streams(self) -> List[Iterator[MicroOp]]:
         """Fresh decode iterators, one per captured thread stream."""
         return [stream.decode() for stream in self.captured.streams]
 
 
+def selected_replay_path(captured: "CapturedTrace",
+                         params: MachineParams) -> str:
+    """Which engine :func:`replay_trace` will use: ``columnar`` or ``general``.
+
+    The columnar loop implements exactly the single-thread, no-budget
+    slice of the core model, so it is selected only when the capture has
+    one measurement stream, the machine runs one hardware thread, and
+    the capture carries no injected faults.  A capture whose provenance
+    is missing (no ``fault_events`` in ``meta``) conservatively takes
+    the general loop.
+    """
+    if (
+        len(captured.streams) == 1
+        and params.smt_threads == 1
+        and captured.meta.get("fault_events") == 0
+    ):
+        return "columnar"
+    return "general"
+
+
+def replay_path_for(kind: str, config) -> str:
+    """Engine selection as a function of a sweep cell's configuration.
+
+    Mirrors :func:`selected_replay_path` for fingerprinting: ``kind`` is
+    the :func:`repro.core.sweep.config_fingerprint` cell kind.  Only the
+    trace-driven single-stream kinds (``single``, ``member``) can take
+    the columnar engine; SMT and chip cells time live generation and
+    always use the general loop.
+    """
+    if (
+        kind in ("single", "member")
+        and config.fault_plan is None
+        and config.params.smt_threads == 1
+    ):
+        return "columnar"
+    return "general"
+
+
 def replay_trace(captured: "CapturedTrace",
                  params: MachineParams) -> CoreResult:
-    """One timing measurement: warm a fresh hierarchy, run the core."""
+    """One timing measurement: warm a fresh hierarchy, run the core.
+
+    The cyclic collector is paused for the duration of the measurement:
+    replay allocates no reference cycles (cache dicts, deques, and the
+    memoized column lists are all acyclic), but its steady allocation
+    rate triggers generation-2 collections whose full-heap scans walk
+    the multi-million-element memoized trace columns — measured at
+    roughly a third of replay wall time, collecting nothing.
+    """
     source = ReplaySource(captured)
     hierarchy = MemoryHierarchy(params)
-    source.warm_into(hierarchy)
-    core = Core(params, hierarchy)
-    return core.run(source.streams())
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        source.warm_into(hierarchy)
+        core = Core(params, hierarchy)
+        if selected_replay_path(captured, params) == "columnar":
+            return replay_columns(core, batch_for(captured.streams[0]))
+        return core.run(source.streams())
+    finally:
+        if gc_was_enabled:
+            gc.enable()

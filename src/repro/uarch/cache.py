@@ -46,9 +46,15 @@ class CacheStats:
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
 
-@dataclass
+@dataclass(slots=True)
 class LineState:
-    """Metadata stored with each resident line."""
+    """Metadata stored with each resident line.
+
+    ``slots=True`` matters here: a simulation holds and churns hundreds
+    of thousands of these, and dropping the per-instance ``__dict__``
+    roughly halves both the allocation cost and the number of
+    containers the cyclic GC has to traverse.
+    """
 
     dirty: bool = False
     prefetched: bool = False  # brought in by a prefetcher, not yet demanded
@@ -88,8 +94,8 @@ class Cache:
 
     # -- queries ----------------------------------------------------------
     def contains(self, addr: int) -> bool:
-        line = self.line_addr(addr)
-        return line in self._sets[self._set_index(line)]
+        line = addr >> self._line_shift
+        return line in self._sets[line % self.num_sets]
 
     def resident_lines(self) -> int:
         return sum(len(s) for s in self._sets)
@@ -104,8 +110,8 @@ class Cache:
     ) -> bool:
         """Demand access.  Returns True on hit.  Does not fill on miss —
         the hierarchy decides fill policy via :meth:`fill`."""
-        line = self.line_addr(addr)
-        cset = self._sets[self._set_index(line)]
+        line = addr >> self._line_shift
+        cset = self._sets[line % self.num_sets]
         state = cset.get(line)
         stats = self.stats
         self.consumed_pf_penalty = 0
@@ -154,8 +160,8 @@ class Cache:
 
         Returns the evicted line (for writeback propagation) or None.
         """
-        line = self.line_addr(addr)
-        cset = self._sets[self._set_index(line)]
+        line = addr >> self._line_shift
+        cset = self._sets[line % self.num_sets]
         existing = cset.get(line)
         if existing is not None:
             existing.dirty = existing.dirty or dirty
@@ -181,6 +187,151 @@ class Cache:
         if prefetched:
             self.stats.prefetch_issued += 1
         return victim
+
+    def fill_fast(
+        self,
+        addr: int,
+        dirty: bool = False,
+        prefetched: bool = False,
+        pf_penalty: int = 0,
+    ) -> int:
+        """:meth:`fill` without the victim record: the hot-path variant.
+
+        Returns the evicted line's byte address if that line was dirty
+        (the only victims the hierarchy propagates — they ripple as
+        writebacks), else ``-1``.  Statistics, LRU order, and the
+        existing-line merge are identical to :meth:`fill`; on eviction
+        the victim's :class:`LineState` is recycled for the incoming
+        line instead of allocating a fresh one (no caller retains line
+        state across a fill).
+        """
+        line = addr >> self._line_shift
+        cset = self._sets[line % self.num_sets]
+        existing = cset.get(line)
+        if existing is not None:
+            existing.dirty = existing.dirty or dirty
+            if not prefetched:
+                existing.prefetched = False
+                existing.pf_penalty = 0
+            return -1
+        victim_addr = -1
+        if len(cset) >= self.assoc:
+            old_line, old_state = next(iter(cset.items()))
+            del cset[old_line]
+            if old_state.dirty:
+                self.stats.writebacks += 1
+                victim_addr = old_line << self._line_shift
+            if old_state.prefetched:
+                self.stats.prefetch_unused_evicted += 1
+            old_state.dirty = dirty
+            old_state.prefetched = prefetched
+            old_state.pf_penalty = pf_penalty
+            cset[line] = old_state
+        else:
+            cset[line] = LineState(dirty, prefetched, pf_penalty)
+        if prefetched:
+            self.stats.prefetch_issued += 1
+        return victim_addr
+
+    def install_span(self, base: int, nbytes: int) -> None:
+        """Install every line of ``[base, base + nbytes)``, batched.
+
+        Equivalent to calling :meth:`fill` (with default arguments, the
+        victim discarded) once per line of the span, but with the
+        per-line method dispatch and victim-record allocation hoisted —
+        functional warming installs tens of thousands of lines per
+        replay through this path.  Statistic updates and LRU behaviour
+        are identical to the per-line walk.
+        """
+        shift = self._line_shift
+        num_sets = self.num_sets
+        assoc = self.assoc
+        sets = self._sets
+        stats = self.stats
+        # The addresses stepped from ``base`` by one line map onto
+        # consecutive line numbers regardless of alignment, so the walk
+        # can iterate lines directly.
+        l0 = base >> shift
+        nlines = (nbytes + self.line_bytes - 1) // self.line_bytes
+        end = l0 + nlines
+        if nlines >= num_sets * assoc and not any(
+            l0 <= line < end for cset in sets for line in cset
+        ):
+            # The span floods every set with at least ``assoc`` fresh
+            # lines, and none of its lines are already resident: every
+            # pre-existing line is evicted no matter what (charge its
+            # eviction stats), the span's own non-surviving lines come
+            # and go clean (no stats), and the final state is exactly
+            # the span's last ``num_sets * assoc`` lines in install
+            # order.  Skipping the doomed installs makes warming a
+            # larger-than-LLC footprint O(capacity), not O(footprint).
+            start = end - num_sets * assoc
+            for s in range(num_sets):
+                old = sets[s]
+                new = {}
+                olds = iter(old.values())
+                first = start + ((s - start) % num_sets)
+                for line in range(first, end, num_sets):
+                    state = next(olds, None)
+                    if state is None:
+                        new[line] = LineState()
+                    else:
+                        # Charge the recycled line's eviction and reset
+                        # it to a fresh clean install.
+                        if state.dirty:
+                            stats.writebacks += 1
+                        if state.prefetched:
+                            stats.prefetch_unused_evicted += 1
+                        state.dirty = False
+                        state.prefetched = False
+                        state.pf_penalty = 0
+                        new[line] = state
+                sets[s] = new
+            return
+        # Walk the span one set at a time (the span's lines land in sets
+        # round-robin, so set s receives every ``num_sets``-th line).
+        # Within a set the install order matches the sequential walk;
+        # across sets the order is immaterial (LRU state is per set and
+        # the statistics are plain counters).
+        for s in range(min(nlines, num_sets)):
+            first = l0 + s
+            set_index = first % num_sets
+            cset = sets[set_index]
+            if not cset:
+                # Empty set: the sequential walk installs this set's
+                # span lines in ascending order, evicting only the
+                # span's own earlier lines once past ``assoc`` — all
+                # clean, never prefetched, so no statistics fire and
+                # the final content is exactly the last ``assoc`` lines
+                # in install order.
+                span = range(first, end, num_sets)
+                k = len(span)
+                if k > assoc:
+                    span = span[k - assoc:]
+                sets[set_index] = {line: LineState() for line in span}
+                continue
+            cset_get = cset.get
+            occupancy = len(cset)
+            for line in range(first, end, num_sets):
+                existing = cset_get(line)
+                if existing is not None:
+                    # Same as fill(dirty=False, prefetched=False): a
+                    # demand install clears any not-yet-used prefetch
+                    # marking.
+                    existing.prefetched = False
+                    existing.pf_penalty = 0
+                    continue
+                if occupancy >= assoc:
+                    # del + insert keeps the set at ``assoc`` lines.
+                    old_line, old_state = next(iter(cset.items()))
+                    del cset[old_line]
+                    if old_state.dirty:
+                        stats.writebacks += 1
+                    if old_state.prefetched:
+                        stats.prefetch_unused_evicted += 1
+                else:
+                    occupancy += 1
+                cset[line] = LineState()
 
     def peek_state(self, addr: int) -> LineState | None:
         """Inspect a line's metadata without touching LRU or stats."""

@@ -267,10 +267,11 @@ class Core:
                         # wait (we do not know hit/miss before access).
                         break
                     ready.popleft()
-                    res = hier.access(uop.addr, False, False, uop.is_os, now=cycle)
-                    done = cycle + res.latency
+                    latency, _level, off_core, _ = hier.access_timed(
+                        uop.addr, False, False, uop.is_os, cycle)
+                    done = cycle + latency
                     outstanding_loads += 1
-                    if res.off_core:
+                    if off_core:
                         superq_advance(cycle)
                         heapq.heappush(superq, done)
                         superq_requests += 1
@@ -279,7 +280,7 @@ class Core:
                     # Stores drain through the store buffer; commit is not
                     # held up by their miss latency, but the access still
                     # updates cache state, bandwidth, and the directory.
-                    hier.access(uop.addr, True, False, uop.is_os, now=cycle)
+                    hier.access_timed(uop.addr, True, False, uop.is_os, cycle)
                     done = cycle + 1
                 else:  # ALU or BRANCH
                     ready.popleft()
@@ -327,11 +328,12 @@ class Core:
                         line = uop.pc >> line_shift
                         if line != tstate.last_line:
                             tstate.last_line = line
-                            res = hier.access(uop.pc, False, True, uop.is_os, now=cycle)
+                            latency, level, off_core, _ = hier.access_timed(
+                                uop.pc, False, True, uop.is_os, cycle)
                             hier.prefetch_instruction(uop.pc)
-                            if res.level != "l1":
-                                tstate.stall_until = cycle + res.latency
-                                if res.off_core:
+                            if level != "l1":
+                                tstate.stall_until = cycle + latency
+                                if off_core:
                                     superq_advance(cycle)
                                     heapq.heappush(superq, tstate.stall_until)
                                     superq_requests += 1
@@ -394,6 +396,12 @@ class Core:
                         candidates.append(t.stall_until)
                 if candidates:
                     target = min(candidates)
+                    if max_cycles is not None:
+                        # The skip may not jump past the cycle budget:
+                        # an uncapped fast-forward would credit stalled
+                        # cycles beyond the requested window (and report
+                        # cycles > max_cycles for the bounded run).
+                        target = min(target, start_cycle + max_cycles)
                     if target > cycle + 1:
                         skipped = target - cycle - 1
                         result.stalled_cycles += skipped

@@ -18,6 +18,11 @@ to install them (which levels fill) and accounts usefulness/pollution.
 
 from __future__ import annotations
 
+#: Shared "no proposals" result — callers only iterate proposal lists,
+#: and the stream prefetcher returns empty on most observations, so the
+#: hot path avoids allocating a fresh empty list per access.
+_NO_PROPOSALS: list[int] = []
+
 
 class NextLinePrefetcher:
     """L1-I next-line prefetcher (also used as the DCU streamer)."""
@@ -81,21 +86,34 @@ class StreamPrefetcher:
         self.degree = degree
         self.train_threshold = train_threshold
         self._table: dict[int, StreamEntry] = {}
+        # Power-of-two sizes (every modelled machine) use shifts on the
+        # observe hot path; -1 falls back to division.
+        self._line_shift = (line_bytes.bit_length() - 1
+                            if line_bytes & (line_bytes - 1) == 0 else -1)
+        self._page_shift = (page_bytes.bit_length() - 1
+                            if page_bytes & (page_bytes - 1) == 0 else -1)
 
     def observe(self, addr: int, hit: bool) -> list[int]:
-        line = addr // self.line_bytes
-        page = addr // self.page_bytes
+        shift = self._line_shift
+        if shift >= 0:
+            line = addr >> shift
+            page = addr >> self._page_shift
+        else:
+            line = addr // self.line_bytes
+            page = addr // self.page_bytes
         entry = self._table.get(page)
         if entry is None:
             if len(self._table) >= self.table_entries:
                 # FIFO replacement of the oldest tracked page.
                 self._table.pop(next(iter(self._table)))
             self._table[page] = StreamEntry(line)
-            return []
+            return _NO_PROPOSALS
         # LRU bump for the page entry.
         del self._table[page]
         self._table[page] = entry
         delta = line - entry.last_line
+        if delta == 0:
+            return _NO_PROPOSALS
         proposals: list[int] = []
         if delta != 0:
             direction = 1 if delta > 0 else -1

@@ -298,3 +298,54 @@ def test_unrelated_trace_names_allowed(tmp_path):
             return trace(0)  # a local callable, not a method drain
         """)
     assert findings == []
+
+
+# ------------------------------------------------------------ hot-path
+def test_microop_construction_flagged_in_uarch(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        from repro.uarch.uop import MicroOp, OpKind
+
+        def rebuild(batch, i):
+            return MicroOp(OpKind.ALU, batch.pcs[i], 0, (), batch.seqs[i])
+        """)
+    assert rules_of(findings) == {"hot-path"}
+    assert "ColumnBatch" in findings[0].message
+
+
+def test_microop_construction_flagged_in_replay(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        from repro.uarch import uop
+
+        def decode_one(row):
+            return uop.MicroOp(*row)
+        """, relpath="trace/replay.py")
+    assert rules_of(findings) == {"hot-path"}
+
+
+def test_microop_construction_allowed_in_codec(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        from repro.uarch.uop import MicroOp
+
+        def decode(rows):
+            for row in rows:
+                yield MicroOp(*row)
+        """, relpath="trace/codec.py")
+    assert findings == []
+
+
+def test_microop_construction_allowed_in_runtime(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        from repro.uarch.uop import MicroOp, OpKind
+
+        def emit(pc, seq):
+            return MicroOp(OpKind.ALU, pc, 0, (), seq)
+        """, relpath="machine/runtime.py")
+    assert findings == []
+
+
+def test_microop_reads_are_not_flagged(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        def classify(uop):
+            return uop.kind  # consuming a MicroOp is fine anywhere
+        """)
+    assert findings == []

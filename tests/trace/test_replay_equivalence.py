@@ -9,17 +9,24 @@ runner path, spelled through the same ``LiveSource`` the SMT runs use.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import pytest
 
+from repro.core.runner import RunConfig
 from repro.core.workloads import REGISTRY
 from repro.faults.plan import FaultPlan
 from repro.trace.capture import TraceKey, build_app_for, capture
+from repro.trace.columns import batch_for
 from repro.trace.live import LiveSource
-from repro.trace.replay import replay_trace
+from repro.trace.replay import (ReplaySource, replay_path_for, replay_trace,
+                                selected_replay_path)
 from repro.trace.store import deserialize, serialize
 from repro.uarch.core import Core
+from repro.uarch.counters import COUNTER_NAMES
+from repro.uarch.fastpath import replay_columns
 from repro.uarch.hierarchy import MemoryHierarchy
-from repro.uarch.params import MachineParams
+from repro.uarch.params import CacheParams, MachineParams
 
 WINDOW = 6_000
 WARM = 2_000
@@ -78,6 +85,101 @@ def test_one_capture_serves_many_machine_configs():
     for params in (baseline, variant):
         replayed = dict(replay_trace(captured, params).to_counters().values)
         assert replayed == live_counters(key, params)
+
+
+# ---------------------------------------------------------------------
+# Engine equivalence: the columnar fast path against the general loop.
+# ``replay_trace`` dispatches between the two; these tests run both
+# engines on one capture and demand bit-identical counters.
+
+def engine_counters(captured, params: MachineParams, engine: str) -> dict:
+    """One measurement through an explicitly chosen replay engine."""
+    source = ReplaySource(captured)
+    hierarchy = MemoryHierarchy(params)
+    source.warm_into(hierarchy)
+    core = Core(params, hierarchy)
+    if engine == "columnar":
+        result = replay_columns(core, batch_for(captured.streams[0]))
+    else:
+        result = core.run(source.streams())
+    return dict(result.to_counters().values)
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_columnar_engine_matches_general_loop(name):
+    """Every counter, every workload: fast path ≡ general loop."""
+    key = TraceKey(name, window_uops=WINDOW, warm_uops=WARM)
+    captured, _app = capture(key)
+    params = MachineParams()
+    fast = engine_counters(captured, params, "columnar")
+    general = engine_counters(captured, params, "general")
+    assert fast == general
+    assert set(fast) == set(COUNTER_NAMES)
+
+
+def test_plain_capture_selects_columnar_engine():
+    key = TraceKey("media-streaming", window_uops=WINDOW, warm_uops=WARM)
+    captured, _app = capture(key)
+    assert selected_replay_path(captured, MachineParams()) == "columnar"
+    # SMT machines fall back to the general loop even for this capture.
+    assert selected_replay_path(captured,
+                                MachineParams().with_smt(2)) == "general"
+
+
+def test_fault_plan_capture_selects_general_loop():
+    """Injected faults must never reach the no-fault fast path."""
+    plan = FaultPlan.degraded(seed=3, intensity=1.5)
+    key = TraceKey("data-serving", window_uops=WINDOW, warm_uops=WARM,
+                   fault_plan=plan)
+    captured, _app = capture(key)
+    assert captured.meta["fault_events"] > 0
+    assert selected_replay_path(captured, MachineParams()) == "general"
+
+
+def test_replay_path_for_mirrors_runtime_selection():
+    """The fingerprint-side selector agrees with the runtime one."""
+    healthy = RunConfig()
+    assert replay_path_for("single", healthy) == "columnar"
+    assert replay_path_for("member", healthy) == "columnar"
+    assert replay_path_for("smt", healthy) == "general"
+    assert replay_path_for("chip", healthy) == "general"
+    faulted = RunConfig(fault_plan=FaultPlan.degraded(seed=3, intensity=1.5))
+    assert replay_path_for("single", faulted) == "general"
+    smt = RunConfig(params=MachineParams().with_smt(2))
+    assert replay_path_for("single", smt) == "general"
+
+
+def wide_line_params() -> MachineParams:
+    """The baseline machine rebuilt with 128-byte lines end to end."""
+    return replace(
+        MachineParams(),
+        line_bytes=128,
+        l1i=CacheParams(32 * 1024, 4, 4, line_bytes=128),
+        l1d=CacheParams(32 * 1024, 8, 4, line_bytes=128),
+        l2=CacheParams(256 * 1024, 8, 6, line_bytes=128),
+        llc=CacheParams(12 * 1024 * 1024, 16, 29, line_bytes=128),
+    )
+
+
+def test_wide_line_hierarchy_replays_identically():
+    """128-byte lines: warming and replay honour the configured size.
+
+    Guards the ``fill_lines``/``functional_replay`` fix — both used to
+    hardcode 64-byte steps, so a non-default line size warmed the wrong
+    lines and replay silently diverged from live timing.
+    """
+    key = TraceKey("mapreduce", window_uops=WINDOW, warm_uops=WARM)
+    params = wide_line_params()
+    assert replayed_counters(key, params) == live_counters(key, params)
+
+
+def test_wide_line_engines_agree():
+    """Fast-vs-general equivalence holds at line_bytes=128 too."""
+    key = TraceKey("web-search", window_uops=WINDOW, warm_uops=WARM)
+    captured, _app = capture(key)
+    params = wide_line_params()
+    assert (engine_counters(captured, params, "columnar")
+            == engine_counters(captured, params, "general"))
 
 
 def test_store_round_trip_preserves_counters():

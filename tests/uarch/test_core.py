@@ -203,6 +203,35 @@ class TestResumability:
         assert second.l1i_misses <= first.l1i_misses  # caches stay warm
 
 
+class TestCycleBudget:
+    def test_idle_fast_forward_respects_max_cycles(self):
+        """The idle-cycle skip must clamp to the budget, not overshoot.
+
+        A cold load to DRAM parks the pipeline for ~hundreds of idle
+        cycles; the fast-forward used to jump straight to the completion
+        event even when that landed past ``max_cycles``, so a budgeted
+        run could report more cycles than it was granted.
+        """
+        def trace():
+            # One cold miss, then a dependent ALU so the window cannot
+            # retire past the load.
+            yield MicroOp(OpKind.LOAD, 0x400000, 1 << 30, (), 1)
+            yield MicroOp(OpKind.ALU, 0x400004, 0, (1,), 2)
+
+        core = make_core()
+        res = core.run([trace()], max_cycles=50)
+        assert res.cycles <= 50
+
+    def test_unbudgeted_run_still_completes(self):
+        def trace():
+            yield MicroOp(OpKind.LOAD, 0x400000, 1 << 30, (), 1)
+            yield MicroOp(OpKind.ALU, 0x400004, 0, (1,), 2)
+
+        core = make_core()
+        res = core.run([trace()])
+        assert res.instructions == 2
+
+
 @settings(max_examples=20, deadline=None)
 @given(
     kinds=st.lists(
