@@ -33,6 +33,7 @@ class HashRing:
         self._points = points
 
     def _start_index(self, key: int | str) -> int:
+        # repro-lint: pure -- placement must be a pure function of key and ring
         target = stable_hash(("ring-key", key))
         lo, hi = 0, len(self._points)
         while lo < hi:
@@ -65,5 +66,6 @@ class HashRing:
         return nodes
 
     def shard_of(self, key: int | str) -> int:
+        # repro-lint: pure -- placement must be a pure function of key and ring
         """The key's home shard: the id of its primary replica."""
         return self.preference_list(key, 1)[0]

@@ -59,6 +59,7 @@ SCHEMA_VERSION = 1
 
 
 def default_cache_dir() -> pathlib.Path:
+    # repro-lint: sanitizer -- environment chooses where results live, never what they contain
     """The store root: ``$REPRO_CACHE_DIR``, else XDG, else ~/.cache."""
     override = os.environ.get("REPRO_CACHE_DIR")
     if override:

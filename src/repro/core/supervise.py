@@ -129,7 +129,14 @@ class SweepCheckpoint:
         self._manifest.discard()
 
 
+def _now() -> float:
+    # repro-lint: sanitizer -- retry/deadline bookkeeping only; results never derive from it
+    """Monotonic clock for supervisor scheduling decisions."""
+    return time.monotonic()
+
+
 def _task_rng(fingerprint: str) -> random.Random:
+    # repro-lint: sanitizer -- seeded from the cell fingerprint, not the OS
     """Deterministic per-cell jitter source (no wall-clock, no PID)."""
     return random.Random(int(fingerprint[:16], 16))
 
@@ -196,7 +203,7 @@ class SweepSupervisor:
                 if not in_flight:
                     # Everything is backing off: sleep to the earliest wakeup.
                     wake = min(task.not_before for task in waiting)
-                    time.sleep(max(0.0, wake - time.monotonic()))
+                    time.sleep(max(0.0, wake - _now()))
                     continue
                 done, _ = wait(list(in_flight),
                                timeout=self._wait_budget(in_flight, waiting),
@@ -233,7 +240,7 @@ class SweepSupervisor:
     # ------------------------------------------------------------------
     def _submit_ready(self, pool, waiting, in_flight, workers) -> bool:
         """Submit due tasks up to capacity; False if the pool is broken."""
-        now = time.monotonic()
+        now = _now()
         ready = [task for task in waiting if task.not_before <= now]
         for task in ready:
             if len(in_flight) >= workers:
@@ -245,13 +252,13 @@ class SweepSupervisor:
                 task.not_before = 0.0
                 waiting.append(task)
                 return False
-            task.started = time.monotonic()
+            task.started = _now()
             in_flight[future] = task
         return True
 
     def _wait_budget(self, in_flight, waiting) -> float | None:
         """How long ``wait`` may block before the loop must act again."""
-        now = time.monotonic()
+        now = _now()
         budgets = []
         if self.policy.timeout is not None:
             budgets.extend(task.started + self.policy.timeout - now
@@ -270,7 +277,7 @@ class SweepSupervisor:
             failed.append(task)
             return
         delay = task.schedule[task.attempts - 1] if task.schedule else 0.0
-        task.not_before = time.monotonic() + delay
+        task.not_before = _now() + delay
         waiting.append(task)
 
     def _respawn(self, pool, in_flight, waiting, failed):
@@ -293,7 +300,7 @@ class SweepSupervisor:
         deadline = self.policy.timeout
         if deadline is None or not in_flight:
             return pool
-        now = time.monotonic()
+        now = _now()
         overdue = [task for task in in_flight.values()
                    if now - task.started > deadline]
         if not overdue:

@@ -6,7 +6,8 @@ Usage::
 
 Options:
 
-    --format=text|json   output format                (default text)
+    --format=text|json|sarif
+                         output format                (default text)
     --baseline           rewrite the baseline file from the current
                          findings (grandfather everything, review the
                          diff, then shrink it over time)
@@ -15,6 +16,9 @@ Options:
     --root P             lint root (default: the installed repro
                          package directory); finding paths are
                          relative to it
+    --rules R1,R2        run only the named rules (default: all)
+    --no-cache           skip the result cache under
+                         ``~/.cache/repro/lint-v1``
     --list-rules         print the rule catalogue and exit
 
 Exit status: 0 when every finding is grandfathered (or none exist),
@@ -23,6 +27,7 @@ Exit status: 0 when every finding is grandfathered (or none exist),
 
 from __future__ import annotations
 
+import importlib.util
 import pathlib
 import sys
 
@@ -33,10 +38,17 @@ from repro.lint.rules import ALL_RULES
 
 
 def default_root() -> pathlib.Path:
-    """The installed ``repro`` package directory."""
-    import repro
+    """The installed ``repro`` package directory.
 
-    return pathlib.Path(repro.__file__).resolve().parent
+    Located via ``find_spec`` rather than importing the package: the
+    layering table promises the linter never executes simulator code,
+    and ``import repro`` would run the root ``__init__``.
+    """
+    spec = importlib.util.find_spec("repro")
+    if spec is None or not spec.submodule_search_locations:
+        raise RuntimeError("cannot locate the repro package")
+    return pathlib.Path(list(spec.submodule_search_locations)[0]
+                        ).resolve()
 
 
 def default_baseline_file(root: pathlib.Path) -> pathlib.Path:
@@ -57,6 +69,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     fmt = "text"
     rewrite_baseline = False
+    use_cache = True
+    rule_filter: list[str] | None = None
     root: pathlib.Path | None = None
     baseline_file: pathlib.Path | None = None
     paths: list[str] = []
@@ -73,12 +87,27 @@ def main(argv: list[str] | None = None) -> int:
             return 0
         if arg == "--baseline":
             rewrite_baseline = True
+        elif arg == "--no-cache":
+            use_cache = False
+        elif arg.startswith("--rules"):
+            value = arg.split("=", 1)[1] if "=" in arg else next(it, "")
+            if not value:
+                return _usage_error("--rules requires a rule list")
+            rule_filter = [name.strip() for name in value.split(",")
+                           if name.strip()]
+            known = {cls.name for cls in ALL_RULES}
+            unknown = sorted(set(rule_filter) - known)
+            if unknown:
+                return _usage_error(
+                    f"--rules names unknown rule(s): "
+                    f"{', '.join(unknown)}")
         elif arg.startswith("--format"):
             value = (arg.split("=", 1)[1] if "=" in arg
                      else next(it, ""))
-            if value not in ("text", "json"):
+            if value not in ("text", "json", "sarif"):
                 return _usage_error(
-                    f"--format must be text or json, got {value!r}")
+                    f"--format must be text, json, or sarif, "
+                    f"got {value!r}")
             fmt = value
         elif arg.startswith("--baseline-file"):
             value = arg.split("=", 1)[1] if "=" in arg else next(it, "")
@@ -101,7 +130,10 @@ def main(argv: list[str] | None = None) -> int:
     baseline_file = (baseline_file if baseline_file is not None
                      else default_baseline_file(root))
 
-    findings = run_lint(root, paths or None)
+    rules = (None if rule_filter is None else
+             [cls for cls in ALL_RULES if cls.name in rule_filter])
+    findings = run_lint(root, paths or None, rules=rules,
+                        cache=use_cache)
 
     if rewrite_baseline:
         count = Baseline.write(baseline_file, findings)

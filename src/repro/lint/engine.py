@@ -9,14 +9,16 @@ inline suppressions.  All simulator knowledge lives in the rules.
 from __future__ import annotations
 
 import ast
+import hashlib
 import pathlib
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Iterable, Sequence
 
+from repro.lint.cache import LintCache, file_digest, ruleset_version
 from repro.lint.findings import Finding
 from repro.lint.rules import ALL_RULES, ProjectRule, Rule, rule_names
 from repro.lint.suppress import (Suppression, is_suppressed,
-                                 parse_suppressions)
+                                 parse_suppressions, statement_anchors)
 
 #: Directory names never descended into.
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis",
@@ -33,6 +35,9 @@ class FileContext:
     lines: list[str]
     tree: ast.Module
     suppressions: dict[int, Suppression] = field(default_factory=dict)
+    #: line -> first line of the logical statement spanning it, so a
+    #: suppression on a statement's first line covers the whole span.
+    anchors: dict[int, int] = field(default_factory=dict)
 
 
 def _iter_python_files(root: pathlib.Path,
@@ -68,9 +73,11 @@ class LintEngine:
     def __init__(self, rules: Sequence[type[Rule]] | None = None) -> None:
         self.rules = [cls() for cls in (rules if rules is not None
                                         else ALL_RULES)]
-        self.known_rules = (rule_names() if rules is None else
-                            frozenset(r.name for r in self.rules)
-                            | {"bad-suppression"})
+        # Suppression validity is judged against the full registry, not
+        # the active subset: `--rules=taint-flow` must not turn every
+        # `disable=builtin-hash` comment in the tree into an error.
+        self.known_rules = (rule_names()
+                            | frozenset(r.name for r in self.rules))
 
     # ------------------------------------------------------------------
     def load(self, root: pathlib.Path,
@@ -95,39 +102,110 @@ class LintEngine:
                 relpath, lines, self.known_rules)
             findings.extend(bad)
             contexts.append(FileContext(relpath, abspath, source, lines,
-                                        tree, suppressions))
+                                        tree, suppressions,
+                                        statement_anchors(tree)))
         return contexts, findings
+
+    def _cache_salt(self) -> str:
+        """Rule-set identity: package sources + the active subset."""
+        return ruleset_version() + "|" + ",".join(
+            sorted(rule.name for rule in self.rules))
+
+    def _tree_digest(self, root: pathlib.Path,
+                     paths: Sequence[pathlib.Path] | None,
+                     ) -> tuple[str, dict[str, str]] | None:
+        """``(tree key, path -> file sha)`` or None if any read fails."""
+        shas: dict[str, str] = {}
+        try:
+            for abspath in _iter_python_files(root, paths):
+                shas[_relpath(abspath, root)] = file_digest(
+                    abspath.read_bytes())
+        except OSError:
+            return None
+        digest = hashlib.sha256(self._cache_salt().encode())
+        for path in sorted(shas):
+            digest.update(f"\0{path}\0{shas[path]}".encode())
+        return digest.hexdigest(), shas
 
     def run(self, root: str | pathlib.Path,
             paths: Sequence[str | pathlib.Path] | None = None,
-            ) -> list[Finding]:
+            cache: LintCache | None = None) -> list[Finding]:
         """All findings for the tree under ``root``, sorted and
         suppression-filtered.
 
         ``paths`` restricts *per-file* rules to a subset of files;
         project-wide rules always see every parsed context so
-        cross-file checks stay sound.
+        cross-file checks stay sound.  With a ``cache``, an unchanged
+        tree returns its recorded findings without parsing anything,
+        and unchanged files skip their per-file rules on a partial hit.
         """
         root = pathlib.Path(root)
         targets = ([pathlib.Path(p) for p in paths] if paths else None)
+
+        manifest = (self._tree_digest(root, targets)
+                    if cache is not None else None)
+        if manifest is not None:
+            hit = cache.get(f"tree-{manifest[0]}")
+            if hit is not None and isinstance(hit.get("findings"), list):
+                try:
+                    return [Finding(**entry)
+                            for entry in hit["findings"]]
+                except TypeError:
+                    pass  # stale/corrupt payload: fall through to cold
+
         contexts, findings = self.load(root, targets)
+        file_rules = [rule for rule in self.rules
+                      if not isinstance(rule, ProjectRule)]
+        for ctx in contexts:
+            key = None
+            if manifest is not None and ctx.path in manifest[1]:
+                digest = hashlib.sha256(
+                    f"{self._cache_salt()}\0{ctx.path}"
+                    f"\0{manifest[1][ctx.path]}".encode())
+                key = f"file-{digest.hexdigest()}"
+                entry = cache.get(key)
+                if entry is not None \
+                        and isinstance(entry.get("findings"), list):
+                    try:
+                        findings.extend(Finding(**item)
+                                        for item in entry["findings"])
+                        continue
+                    except TypeError:
+                        pass
+            file_findings = [finding for rule in file_rules
+                             for finding in rule.check_file(ctx)]
+            findings.extend(file_findings)
+            if key is not None:
+                cache.put(key, {"findings": [asdict(f)
+                                             for f in file_findings]})
         for rule in self.rules:
             if isinstance(rule, ProjectRule):
                 findings.extend(rule.check_project(contexts))
-            else:
-                for ctx in contexts:
-                    findings.extend(rule.check_file(ctx))
-        by_path = {ctx.path: ctx.suppressions for ctx in contexts}
+
+        by_path = {ctx.path: (ctx.suppressions, ctx.anchors)
+                   for ctx in contexts}
+        empty: tuple[dict, dict] = ({}, {})
         kept = [
             finding for finding in findings
             if finding.rule == "bad-suppression"
-            or not is_suppressed(finding, by_path.get(finding.path, {}))
+            or not is_suppressed(finding,
+                                 *by_path.get(finding.path, empty))
         ]
-        return sorted(set(kept), key=Finding.sort_key)
+        result = sorted(set(kept), key=Finding.sort_key)
+        if manifest is not None:
+            cache.put(f"tree-{manifest[0]}",
+                      {"findings": [asdict(f) for f in result]})
+        return result
 
 
 def run_lint(root: str | pathlib.Path,
              paths: Sequence[str | pathlib.Path] | None = None,
-             rules: Sequence[type[Rule]] | None = None) -> list[Finding]:
-    """Convenience wrapper: lint ``root`` with the default rule set."""
-    return LintEngine(rules).run(root, paths)
+             rules: Sequence[type[Rule]] | None = None,
+             cache: bool = False) -> list[Finding]:
+    """Convenience wrapper: lint ``root`` with the default rule set.
+
+    Caching is opt-in here (tests and library callers want hermetic
+    runs); the CLI turns it on unless ``--no-cache`` is passed.
+    """
+    return LintEngine(rules).run(root, paths,
+                                 LintCache() if cache else None)

@@ -44,9 +44,70 @@ class Finding:
                 f"{self.severity}: [{self.rule}] {self.message}")
 
 
+#: Anchor base for SARIF rule help: every rule has an entry in the
+#: catalogue whose heading slug is the rule name.  A relative URI
+#: reference, resolved against wherever the repository is browsed.
+HELP_URI = "docs/lint.md"
+
+#: Descriptions for the engine-emitted pseudo-rules (real rules carry
+#: their own ``description`` attribute).
+_META_DESCRIPTIONS = {
+    "bad-suppression": ("suppression comment is malformed, reasonless, "
+                        "or names an unknown rule"),
+    "parse-error": "file could not be read or parsed",
+}
+
+
+def _sarif_rules() -> list[dict]:
+    # Imported lazily: repro.lint.rules imports this module.
+    from repro.lint.rules import ALL_RULES, META_RULES
+
+    catalogue = [(cls.name, cls.description, cls.severity)
+                 for cls in ALL_RULES]
+    catalogue += [(name, _META_DESCRIPTIONS[name], "error")
+                  for name in META_RULES]
+    return [{
+        "id": name,
+        "shortDescription": {"text": description},
+        "helpUri": f"{HELP_URI}#{name}",
+        "defaultConfiguration": {"level": severity},
+    } for name, description, severity in catalogue]
+
+
+def format_sarif(findings: Sequence[Finding]) -> str:
+    """Render findings as a SARIF 2.1.0 log for code-scanning upload."""
+    results = [{
+        "ruleId": finding.rule,
+        "level": finding.severity,
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path},
+                "region": {"startLine": finding.line,
+                           "startColumn": finding.col},
+            },
+        }],
+    } for finding in findings]
+    log = {
+        "version": "2.1.0",
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "informationUri": HELP_URI,
+                "rules": _sarif_rules(),
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(log, indent=1, sort_keys=True)
+
+
 def format_findings(findings: Sequence[Finding], fmt: str = "text",
                     baselined: Sequence[Finding] = ()) -> str:
-    """Render findings for the CLI in ``text`` or ``json`` format."""
+    """Render findings for the CLI: ``text``, ``json``, or ``sarif``."""
+    if fmt == "sarif":
+        return format_sarif(findings)
     if fmt == "json":
         payload = {
             "findings": [asdict(f) for f in findings],

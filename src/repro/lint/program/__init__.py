@@ -1,0 +1,41 @@
+"""Whole-program analysis: the interprocedural layer of repro-lint.
+
+The per-file rules in :mod:`repro.lint.rules` catch a nondeterminism
+*source* at its call site.  What they structurally cannot see is a
+source laundered through a helper: a wrapper around ``time.time()``
+called from a counter-incrementing hot path lints clean file by file,
+yet silently invalidates every cached result in the store.  This
+package closes that gap with one shared :class:`~repro.lint.program.model.ProgramModel`
+(project-wide symbol table + call graph, built from the engine's
+already-parsed ``FileContext`` list) and three rules on top of it:
+
+* ``taint-flow`` (:mod:`.taint`) — propagates determinism taint from
+  sources (wall clock, global RNG, ``os.environ``, builtin ``hash``,
+  set iteration order) through call/return edges into sinks (counter
+  stores, fingerprint inputs, store documents, the cluster sim clock,
+  trace containers), stopping at blessed sanitizers.
+* ``fingerprint-purity`` (:mod:`.purity`) — verifies the functions
+  folded into :func:`~repro.core.sweep.config_fingerprint` stay free
+  of global mutation, I/O, and taint, and that ``*_SCHEMA`` constants
+  stay literal.
+* ``import-layering`` (:mod:`.layers`) — a declared, table-driven
+  import DAG between the top-level packages (``uarch`` never imports
+  ``cluster``, ``lint`` imports nothing, ...).
+
+All three activate structurally — on whatever tree the engine parsed —
+so the fixture suites exercise them exactly like the live repository.
+"""
+
+from __future__ import annotations
+
+from repro.lint.program.layers import ImportLayeringRule
+from repro.lint.program.model import ProgramModel
+from repro.lint.program.purity import FingerprintPurityRule
+from repro.lint.program.taint import TaintFlowRule
+
+__all__ = [
+    "ProgramModel",
+    "TaintFlowRule",
+    "FingerprintPurityRule",
+    "ImportLayeringRule",
+]

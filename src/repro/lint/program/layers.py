@@ -1,0 +1,79 @@
+"""``import-layering`` — the declared package dependency table.
+
+The ad-hoc layering rules (``cluster-clock``, ``trace-layer``,
+``hot-path``) each police one corner of the architecture.  This rule
+states the whole thing in one table: for every top-level package of
+the tree, the set of packages it may import.  Packages absent from the
+table (and root-level modules like ``tools.py``) are unconstrained, so
+small fixture trees activate only the rows they actually contain.
+
+The table encodes the dependency reality of the repository — it is a
+declared *ceiling*, not an aspiration.  Notable edges it forbids:
+
+* ``uarch`` never imports ``cluster`` (a core model must not know
+  about fleets) nor ``core`` (the harness drives the model, never the
+  reverse);
+* ``apps`` never imports ``core`` (workload definitions must not
+  reach into sweep/cache plumbing — the ``_cache_key`` aliasing bug
+  rode in through exactly such a shortcut);
+* ``machine`` sits below everything except ``uarch``;
+* ``lint`` imports nothing — the linter must be loadable without
+  executing any simulator code, or it could not gate that code.
+
+Loosening an edge is a one-line diff to ``LAYERS`` reviewed like any
+other API change, with the docs table in ``docs/lint.md`` as the
+human-readable mirror.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List
+
+from repro.lint.findings import Finding
+from repro.lint.program.model import build_model
+from repro.lint.rules import ProjectRule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.engine import FileContext
+
+#: package -> packages it may import (itself always included).
+LAYERS: dict[str, frozenset[str]] = {
+    "apps": frozenset({"apps", "faults", "load", "machine", "uarch",
+                       "trace"}),
+    "cluster": frozenset({"cluster", "apps", "core", "faults", "load",
+                          "machine"}),
+    "core": frozenset({"core", "apps", "cluster", "faults", "load",
+                       "machine", "trace", "uarch"}),
+    "faults": frozenset({"faults"}),
+    "lint": frozenset({"lint"}),
+    "load": frozenset({"load", "faults"}),
+    "machine": frozenset({"machine", "uarch"}),
+    "trace": frozenset({"trace", "apps", "core", "faults", "uarch"}),
+    "uarch": frozenset({"uarch", "trace"}),
+}
+
+
+class ImportLayeringRule(ProjectRule):
+    """Imports must follow the declared package layering table."""
+
+    name = "import-layering"
+    severity = "error"
+    description = ("import crosses a package boundary the layering "
+                   "table does not allow")
+
+    def check_project(self, contexts: "List[FileContext]",
+                      ) -> Iterable[Finding]:
+        model = build_model(contexts)
+        for importer, target, lineno, spelled in model.import_edges:
+            src_pkg = model.package_of(importer)
+            dst_pkg = model.package_of(target)
+            allowed = LAYERS.get(src_pkg)
+            if allowed is None or dst_pkg in allowed or not dst_pkg:
+                continue
+            ctx = model.modules[importer]
+            yield Finding(
+                self.name, ctx.path, lineno, 1, self.severity,
+                f"package `{src_pkg}` must not import `{dst_pkg}` "
+                f"(import of {spelled}); `{src_pkg}` may only depend "
+                f"on: {', '.join(sorted(allowed))} — see the layering "
+                "table in docs/lint.md before loosening LAYERS")

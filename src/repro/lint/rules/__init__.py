@@ -66,6 +66,11 @@ from repro.lint.rules.robustness import (  # noqa: E402
     FloatEqualityRule,
     MutableDefaultRule,
 )
+from repro.lint.program import (  # noqa: E402
+    FingerprintPurityRule,
+    ImportLayeringRule,
+    TaintFlowRule,
+)
 
 #: Every registered rule, in reporting-priority order.
 ALL_RULES: List[Type[Rule]] = [
@@ -81,6 +86,9 @@ ALL_RULES: List[Type[Rule]] = [
     MutableDefaultRule,
     FloatEqualityRule,
     CounterSchemaRule,
+    TaintFlowRule,
+    FingerprintPurityRule,
+    ImportLayeringRule,
 ]
 
 #: Pseudo-rules the engine itself emits; valid in suppressions/baseline.

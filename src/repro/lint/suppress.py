@@ -1,8 +1,19 @@
 """Inline suppression comments.
 
-A finding is silenced by a comment *on the line it is reported at*::
+A finding is silenced by a comment on the line it is reported at, or on
+the *first line of the logical statement* that spans it::
 
     addr = hash(key) % n  # repro-lint: disable=builtin-hash -- int keys only
+
+    result = combine(   # repro-lint: disable=builtin-hash -- int keys only
+        hash(key),      # finding reported here, suppressed above
+        nbuckets)
+
+For compound statements (``def``, ``class``, ``if``, ``for``, ...) the
+first line covers only the *header* — decorators through the line
+before the first body statement — so a suppression on a ``def`` line
+silences a finding on its (possibly multi-line, decorated) signature
+without swallowing the entire body.
 
 Several rules may be disabled at once (``disable=rule-a,rule-b``).  The
 ``-- reason`` part is mandatory: a suppression that does not say *why*
@@ -12,10 +23,47 @@ rule the engine does not know — both would otherwise rot silently.
 
 from __future__ import annotations
 
+import ast
 import re
 from dataclasses import dataclass
 
 from repro.lint.findings import Finding
+
+#: Statements whose span must NOT anchor wholesale to their first line:
+#: only the header (decorators .. ``body[0].lineno - 1``) does.
+_COMPOUND = tuple(
+    node_type for node_type in (
+        ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+        ast.If, ast.For, ast.AsyncFor, ast.While, ast.With,
+        ast.AsyncWith, ast.Try,
+        getattr(ast, "TryStar", None), getattr(ast, "Match", None))
+    if node_type is not None)
+
+
+def statement_anchors(tree: ast.Module) -> dict[int, int]:
+    """Map every line a statement spans to the statement's first line.
+
+    ``ast.walk`` yields parents before children, so inner statements
+    overwrite the entries of enclosing ones: a finding inside an ``if``
+    body anchors to its own statement, not the ``if`` header.
+    """
+    anchors: dict[int, int] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        first = node.lineno
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            decorators = [d.lineno for d in node.decorator_list]
+            first = min([first] + decorators)
+        if isinstance(node, _COMPOUND):
+            body = getattr(node, "body", None) or [node]
+            last = max(first, body[0].lineno - 1)
+        else:
+            last = node.end_lineno or first
+        for lineno in range(first, last + 1):
+            anchors[lineno] = first
+    return anchors
 
 #: ``# repro-lint: disable=<rules>[ -- <reason>]`` anywhere in a line.
 _PATTERN = re.compile(
@@ -79,7 +127,17 @@ def parse_suppressions(path: str, lines: list[str],
 
 
 def is_suppressed(finding: Finding,
-                  by_line: dict[int, Suppression]) -> bool:
-    """True if ``finding``'s line carries a disable for its rule."""
-    suppression = by_line.get(finding.line)
-    return suppression is not None and finding.rule in suppression.rules
+                  by_line: dict[int, Suppression],
+                  anchors: dict[int, int] | None = None) -> bool:
+    """True if ``finding`` is disabled on its own line or on the first
+    line of the logical statement spanning it (``anchors``)."""
+    candidates = [finding.line]
+    if anchors is not None:
+        anchor = anchors.get(finding.line)
+        if anchor is not None and anchor != finding.line:
+            candidates.append(anchor)
+    for lineno in candidates:
+        suppression = by_line.get(lineno)
+        if suppression is not None and finding.rule in suppression.rules:
+            return True
+    return False

@@ -45,6 +45,7 @@ def _check_part(part: object) -> None:
 
 
 def stable_hash(*parts: object) -> int:
+    # repro-lint: sanitizer -- the blessed hash; hashing.py is trusted by the taint pass
     """A deterministic non-negative hash of ``parts``, salt-free.
 
     A single integer keeps builtin hashing: CPython's int hash is

@@ -116,6 +116,17 @@ def reset() -> None:
     TAPS.reset()
 
 
+def _tick() -> float:
+    # repro-lint: sanitizer -- feeds only the TAPS latency taps, never result data
+    """Wall-clock read for the observability taps.
+
+    Isolated (and blessed for the whole-program taint pass) so the
+    harness-timing exemption is explicit: anything else in this module
+    that wants a clock has to go through here or answer to the linter.
+    """
+    return perf_counter()
+
+
 def _memo_put(fingerprint: str,
               entry: tuple[CapturedTrace, "ServerApp | None"]) -> None:
     _MEMO[fingerprint] = entry
@@ -144,18 +155,18 @@ def materialize(key: TraceKey, use_store: bool = True,
         return hit
     if use_store and not require_app:
         store = TraceStore()
-        started = perf_counter()
+        started = _tick()
         captured = store.get(fingerprint)
-        TAPS.store_seconds += perf_counter() - started
+        TAPS.store_seconds += _tick() - started
         if captured is not None:
             TAPS.store_hits += 1
             _memo_put(fingerprint, (captured, None))
             return captured, None
         TAPS.store_misses += 1
-    started = perf_counter()
+    started = _tick()
     captured, app = capture(key)
     TAPS.captures += 1
-    TAPS.capture_seconds += perf_counter() - started
+    TAPS.capture_seconds += _tick() - started
     TAPS.capture_uops += captured.total_uops()
     TAPS.encoded_bytes += captured.nbytes()
     if use_store:
@@ -167,10 +178,10 @@ def materialize(key: TraceKey, use_store: bool = True,
 def replay(captured: CapturedTrace,
            params: "MachineParams") -> "CoreResult":
     """Tap-instrumented :func:`~repro.trace.replay.replay_trace`."""
-    started = perf_counter()
+    started = _tick()
     result = replay_trace(captured, params)
     TAPS.replays += 1
-    TAPS.replay_seconds += perf_counter() - started
+    TAPS.replay_seconds += _tick() - started
     TAPS.replay_uops += captured.window_uops()
     if selected_replay_path(captured, params) == "columnar":
         TAPS.fast_replays += 1

@@ -88,6 +88,7 @@ class MachineParams:
     line_bytes: int = 64
 
     def with_llc_mb(self, megabytes: float) -> "MachineParams":
+        # repro-lint: pure -- derived configs feed config_fingerprint
         """Return a copy with the LLC resized (Figure 4 sweeps)."""
         size = int(megabytes * 1024 * 1024)
         assoc = self.llc.assoc

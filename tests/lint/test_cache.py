@@ -1,0 +1,116 @@
+"""The incremental lint cache: correctness first, speed second.
+
+The cache is content-addressed (file SHA-256 + rule-set version), so
+there is no invalidation protocol to test — only that hits reproduce
+the cold result exactly, that changed bytes miss, and that corruption
+degrades to a cold run.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.lint.cache import LintCache, ruleset_version
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import LintEngine
+
+
+def write(tree, relpath, source):
+    path = tree / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source).lstrip())
+
+
+def make_tree(tmp_path):
+    tree = tmp_path / "tree"
+    write(tree, "machine/m.py", """
+        def bucket(key, n):
+            return hash(key) % n
+        """)
+    return tree
+
+
+def test_warm_run_reproduces_cold_findings(tmp_path):
+    tree = make_tree(tmp_path)
+    cache = LintCache(tmp_path / "cache")
+    engine = LintEngine()
+    cold = engine.run(tree, cache=cache)
+    assert [f.rule for f in cold] == ["builtin-hash"]
+    tree_entries = list((tmp_path / "cache").glob("tree-*.json"))
+    assert len(tree_entries) == 1
+    warm = LintEngine().run(tree, cache=cache)
+    assert warm == cold
+
+
+def test_warm_run_actually_reads_the_cache(tmp_path):
+    tree = make_tree(tmp_path)
+    cache = LintCache(tmp_path / "cache")
+    LintEngine().run(tree, cache=cache)
+    [entry] = (tmp_path / "cache").glob("tree-*.json")
+    payload = json.loads(entry.read_text())
+    payload["findings"][0]["message"] = "MARKER-FROM-CACHE"
+    entry.write_text(json.dumps(payload))
+    warm = LintEngine().run(tree, cache=cache)
+    assert warm[0].message == "MARKER-FROM-CACHE"
+
+
+def test_changed_file_misses_the_tree_entry(tmp_path):
+    tree = make_tree(tmp_path)
+    cache = LintCache(tmp_path / "cache")
+    assert LintEngine().run(tree, cache=cache)
+    write(tree, "machine/m.py", """
+        def bucket(key, n):
+            return key % n
+        """)
+    assert LintEngine().run(tree, cache=cache) == []
+
+
+def test_corrupt_entries_degrade_to_cold_run(tmp_path):
+    tree = make_tree(tmp_path)
+    cache = LintCache(tmp_path / "cache")
+    cold = LintEngine().run(tree, cache=cache)
+    for entry in (tmp_path / "cache").glob("*.json"):
+        entry.write_text("{not json")
+    assert LintEngine().run(tree, cache=cache) == cold
+
+
+def test_unwritable_cache_is_harmless(tmp_path):
+    tree = make_tree(tmp_path)
+    blocker = tmp_path / "cache"
+    blocker.write_text("a file where the cache dir should go")
+    cache = LintCache(blocker)
+    findings = LintEngine().run(tree, cache=cache)
+    assert [f.rule for f in findings] == ["builtin-hash"]
+
+
+def test_rule_subset_gets_its_own_keys(tmp_path):
+    from repro.lint.rules import ALL_RULES
+
+    tree = make_tree(tmp_path)
+    cache = LintCache(tmp_path / "cache")
+    full = LintEngine().run(tree, cache=cache)
+    assert [f.rule for f in full] == ["builtin-hash"]
+    subset = [cls for cls in ALL_RULES if cls.name == "wallclock"]
+    assert LintEngine(subset).run(tree, cache=cache) == []
+    # And the full-set entry is still intact afterwards.
+    assert LintEngine().run(tree, cache=cache) == full
+
+
+def test_ruleset_version_is_stable_within_a_process(tmp_path):
+    assert ruleset_version() == ruleset_version()
+    assert len(ruleset_version()) == 64
+
+
+def test_cli_uses_cache_and_no_cache_skips_it(tmp_path, monkeypatch,
+                                              capsys):
+    tree = make_tree(tmp_path)
+    cache_root = tmp_path / "cli-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_root))
+    assert lint_main([f"--root={tree}", "--no-cache",
+                      f"--baseline-file={tmp_path}/b.json"]) == 1
+    assert not (cache_root / "lint-v1").exists()
+    assert lint_main([f"--root={tree}",
+                      f"--baseline-file={tmp_path}/b.json"]) == 1
+    assert list((cache_root / "lint-v1").glob("tree-*.json"))
+    capsys.readouterr()

@@ -44,11 +44,58 @@ def test_json_format(tmp_path, capsys):
     assert payload["counts"]["error"] == 1
 
 
+def test_sarif_format(tmp_path, capsys):
+    root = write_bad_tree(tmp_path)
+    assert lint_main([f"--root={root}",
+                      f"--baseline-file={tmp_path}/b.json",
+                      "--format=sarif"]) == 1
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    rules = {rule["id"]: rule for rule in run["tool"]["driver"]["rules"]}
+    # Every rule links to its section of the catalogue, meta included.
+    assert rules["builtin-hash"]["helpUri"] == "docs/lint.md#builtin-hash"
+    assert rules["taint-flow"]["helpUri"] == "docs/lint.md#taint-flow"
+    assert "bad-suppression" in rules
+    [result] = run["results"]
+    assert result["ruleId"] == "builtin-hash"
+    assert result["level"] == "error"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "uarch/m.py"
+    assert location["region"]["startLine"] == 2
+
+
+def test_sarif_clean_tree_has_empty_results(tmp_path, capsys):
+    root = tmp_path / "tree"
+    root.mkdir()
+    (root / "ok.py").write_text("x = 1\n")
+    assert lint_main([f"--root={root}",
+                      f"--baseline-file={tmp_path}/b.json",
+                      "--format=sarif"]) == 0
+    log = json.loads(capsys.readouterr().out)
+    assert log["runs"][0]["results"] == []
+
+
+def test_rules_filter_restricts_the_run(tmp_path, capsys):
+    root = write_bad_tree(tmp_path)
+    assert lint_main([f"--root={root}",
+                      f"--baseline-file={tmp_path}/b.json",
+                      "--rules=wallclock,unseeded-random"]) == 0
+    capsys.readouterr()
+    assert lint_main([f"--root={root}",
+                      f"--baseline-file={tmp_path}/b.json",
+                      "--rules=builtin-hash"]) == 1
+    assert "builtin-hash" in capsys.readouterr().out
+
+
 def test_usage_errors_exit_two(tmp_path):
     assert lint_main(["--format=yaml"]) == 2
     assert lint_main(["--no-such-flag"]) == 2
     assert lint_main([f"--root={tmp_path}/missing"]) == 2
     assert lint_main(["--baseline-file"]) == 2
+    assert lint_main(["--rules"]) == 2
+    assert lint_main(["--rules=no-such-rule"]) == 2
 
 
 def test_list_rules(capsys):
@@ -56,7 +103,8 @@ def test_list_rules(capsys):
     out = capsys.readouterr().out
     for rule in ("builtin-hash", "unseeded-random", "wallclock",
                  "order-dependence", "stable-hash-args", "blind-except",
-                 "mutable-default", "float-eq", "counter-schema"):
+                 "mutable-default", "float-eq", "counter-schema",
+                 "taint-flow", "fingerprint-purity", "import-layering"):
         assert rule in out
 
 

@@ -1,0 +1,84 @@
+"""Span-aware suppressions: multi-line statements and decorated defs.
+
+A ``disable`` comment on the first line of a logical statement covers
+every line the statement spans — but for compound statements only the
+header, never the body.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.engine import run_lint
+
+
+def write(tree, relpath, source):
+    path = tree / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source).lstrip())
+
+
+def test_multiline_statement_suppressed_on_first_line(fixture_tree):
+    # First establish the un-suppressed baseline: the findings land on
+    # the hash() lines, below the statement's first line.
+    write(fixture_tree, "machine/multi.py", """
+        def bucket(key, extra, n):
+            return sum((
+                hash(key),
+                hash(extra),
+            )) % n
+        """)
+    findings = run_lint(fixture_tree)
+    assert {f.rule for f in findings} == {"builtin-hash"}
+    assert sorted(f.line for f in findings) == [3, 4]
+
+    write(fixture_tree, "machine/multi.py", """
+        def bucket(key, extra, n):
+            return sum((  # repro-lint: disable=builtin-hash -- int keys only
+                hash(key),
+                hash(extra),
+            )) % n
+        """)
+    assert run_lint(fixture_tree) == []
+
+
+def test_decorated_def_suppressed_on_decorator_line(fixture_tree):
+    write(fixture_tree, "machine/deco.py", """
+        import functools
+
+        @functools.lru_cache  # repro-lint: disable=mutable-default -- read-only sentinel
+        def lookup(key, table=[]):
+            return key in table
+        """)
+    assert run_lint(fixture_tree) == []
+
+
+def test_decorated_def_unsuppressed_still_fires(fixture_tree):
+    write(fixture_tree, "machine/deco.py", """
+        import functools
+
+        @functools.lru_cache
+        def lookup(key, table=[]):
+            return key in table
+        """)
+    findings = run_lint(fixture_tree)
+    assert {f.rule for f in findings} == {"mutable-default"}
+
+
+def test_def_line_suppression_does_not_cover_the_body(fixture_tree):
+    write(fixture_tree, "machine/body.py", """
+        def bucket(key, n):  # repro-lint: disable=builtin-hash -- header only
+            return hash(key) % n
+        """)
+    findings = run_lint(fixture_tree)
+    # The body statement anchors to its own line, not the def header:
+    # a header suppression must not swallow the whole function.
+    assert {f.rule for f in findings} == {"builtin-hash"}
+
+
+def test_exact_line_suppression_still_works(fixture_tree):
+    write(fixture_tree, "machine/exact.py", """
+        def bucket(key, n):
+            return hash(key) % n  # repro-lint: disable=builtin-hash -- int keys only
+        """)
+    assert run_lint(fixture_tree) == []
