@@ -16,6 +16,10 @@ Commands:
     cluster [workload]        simulated-fleet sweep (Figure 9): replicated
                               sharding, health-checked balancing, hedged
                               requests, CO-safe tail latency
+    cluster calibrate [workload]
+                              derive per-op service-cost quantiles from
+                              uarch replay (both fleet workloads when
+                              no workload is named)
     ablations                 run the §4-implications ablations
     verify                    check every paper claim against fresh runs
     all                       regenerate every table and figure
@@ -37,6 +41,10 @@ Options:
                   sweep's checkpoint journal
     --fleet N     cluster/figure9: sweep only this fleet size
     --replication R  cluster/figure9: replicas per shard (default 2)
+    --costs M     cluster/figure9: service-cost source — static
+                  (hand-written tables, the default), measured
+                  (uarch-replay-calibrated quantile tables), or delta
+                  (both, with a static-vs-measured comparison table)
     --no-cache    bypass the in-process and on-disk result caches
     --bars        render figures as ASCII bar charts instead of tables
     --fresh       discard the faults sweep manifest before running
@@ -67,6 +75,8 @@ _VALUE_FLAGS = ("--window", "--warm", "--seed", "--jobs", "--retries",
 _FLOAT_FLAGS = ("--timeout",)
 #: Boolean switches.
 _SWITCH_FLAGS = ("--bars", "--fresh", "--no-cache", "--resume", "--check")
+#: Flags that consume the following token from a fixed choice set.
+_CHOICE_FLAGS = {"--costs": ("static", "measured", "delta")}
 
 
 @dataclass
@@ -83,6 +93,7 @@ class CliOptions:
     check: bool = False
     fleet: int | None = None
     replication: int = 2
+    costs: str = "static"
 
 
 def _usage_error(message: str) -> None:
@@ -102,11 +113,23 @@ def _parse_config(args: list[str]) -> tuple[list[str], RunConfig, CliOptions]:
     values = {"--window": 80_000, "--warm": None, "--seed": 7, "--jobs": 1,
               "--retries": 2, "--fleet": None, "--replication": 2}
     floats: dict[str, float | None] = {"--timeout": None}
+    choices = {"--costs": "static"}
     switches = {name: False for name in _SWITCH_FLAGS}
     rest: list[str] = []
     it = iter(args)
     for arg in it:
-        if arg in _VALUE_FLAGS:
+        if arg in _CHOICE_FLAGS or \
+                ("=" in arg and arg.split("=", 1)[0] in _CHOICE_FLAGS):
+            if "=" in arg:
+                name, raw = arg.split("=", 1)
+            else:
+                name, raw = arg, next(it, None)
+            allowed = _CHOICE_FLAGS[name]
+            if raw is None or raw not in allowed:
+                _usage_error(f"{name} requires one of "
+                             f"{', '.join(allowed)}; got {raw!r}")
+            choices[name] = raw
+        elif arg in _VALUE_FLAGS:
             raw = next(it, None)
             if raw is None:
                 _usage_error(f"{arg} requires an integer value")
@@ -152,7 +175,8 @@ def _parse_config(args: list[str]) -> tuple[list[str], RunConfig, CliOptions]:
                          resume=switches["--resume"],
                          check=switches["--check"],
                          fleet=values["--fleet"],
-                         replication=values["--replication"])
+                         replication=values["--replication"],
+                         costs=choices["--costs"])
     return rest, config, options
 
 
@@ -379,6 +403,42 @@ def _trace_command(args: list[str], config: RunConfig,
     return _trace_dump(args)
 
 
+def _calibrate_command(args: list[str], config: RunConfig,
+                       options: CliOptions) -> int:
+    """``cluster calibrate [workload]`` — print measured cost tables.
+
+    Calibrates every fleet workload when none is named; each model is
+    derived from uarch replay of the per-op-class traces and persisted
+    in the result store (unless ``--no-cache``).
+    """
+    from repro.cluster.calibrate import (CalibrationConfig, FLEET_WORKLOADS,
+                                         calibrate)
+    from repro.cluster.costs import QUANTILE_POINTS
+
+    workloads = args or list(FLEET_WORKLOADS)
+    for workload in workloads:
+        calibration = CalibrationConfig(
+            workload=workload, params=config.params,
+            window_uops=config.window_uops, warm_uops=config.warm_uops,
+            seed=config.seed)
+        try:
+            model = calibrate(calibration,
+                              use_store=not options.no_cache)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        print(f"{workload}: measured service costs (ns) at "
+              f"{model.blade_mhz:.0f} MHz, uarch {model.uarch[:16]}…")
+        header = "  ".join(f"{name:>6}" for name, _rank in QUANTILE_POINTS)
+        print(f"  {'op':<8}{header}")
+        for op, cost in model.ops:
+            row = "  ".join(f"{getattr(cost, name):>6}"
+                            for name, _rank in QUANTILE_POINTS)
+            print(f"  {op:<8}{row}")
+    _report_trace_taps()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point: dispatch a CLI command; returns the exit status."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -437,12 +497,19 @@ def main(argv: list[str] | None = None) -> int:
             jobs=options.jobs, use_cache=not options.no_cache, store=store,
             retry=policy, checkpoint_dir=default_cache_dir() / "checkpoints",
             resume=options.resume)
+        if len(args) > 1 and args[1] == "calibrate":
+            return _calibrate_command(args[2:], config, options)
         workload = args[1] if len(args) > 1 else "data-serving"
         fleets = [options.fleet] if options.fleet is not None else None
         try:
-            table = figure9_cluster.run(
-                config, engine=engine, workload=workload, fleets=fleets,
-                replication=options.replication)
+            if options.costs == "delta":
+                table = figure9_cluster.delta_table(
+                    config, engine=engine, workload=workload, fleets=fleets,
+                    replication=options.replication)
+            else:
+                table = figure9_cluster.run(
+                    config, engine=engine, workload=workload, fleets=fleets,
+                    replication=options.replication, costs=options.costs)
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
@@ -450,6 +517,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 1
         print(table.to_text())
+        _report_trace_taps()
         return 0
     if command == "verify":
         from repro.core.paper import verify

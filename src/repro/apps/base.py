@@ -265,6 +265,41 @@ class ServerApp(abc.ABC):
             rt, ("failover_coordinator", "degraded_serve"), event)
         self.kernel.context_switch(rt)
 
+    # -- cluster op classes --------------------------------------------------
+    def cluster_ops(self) -> dict:
+        """Per-op-class serve handlers for fleet cost calibration.
+
+        Maps an op-class name (``read``/``update``/``hint``/``repair``/
+        ``probe``) to a one-request callable ``fn(rt)``.  Apps that can
+        host a fleet replica override this; the default (no handlers)
+        means the workload has no cluster backend.
+        """
+        return {}
+
+    def prepare_cluster_ops(self) -> None:
+        """Make the degraded-mode paths traceable for op-class capture.
+
+        Several op classes (hinted handoff, read repair) execute the
+        fault-handling code the app registers lazily at fault
+        attachment; calibration runs without an injector, so the hooks
+        are registered here — eagerly, before any layout snapshot, so
+        all five op-class traces see one consistent address space.
+        """
+        if not self.cluster_ops():
+            raise KeyError(f"{self.name} has no cluster op classes")
+        if not self._fault_fns:
+            self.register_fault_hooks()
+
+    def serve_cluster_op(self, rt: Runtime, op: str) -> None:
+        """Execute one request of class ``op`` (calibration serve path)."""
+        handlers = self.cluster_ops()
+        handler = handlers.get(op)
+        if handler is None:
+            raise KeyError(
+                f"{self.name} has no cluster op class {op!r}; "
+                f"known: {', '.join(sorted(handlers))}")
+        handler(rt)
+
     # -- runtimes ------------------------------------------------------------
     def runtime(self, tid: int) -> Runtime:
         rt = self._runtimes.get(tid)
@@ -322,6 +357,40 @@ class ServerApp(abc.ABC):
                         f"{self.name}: {silent} consecutive serve calls "
                         f"emitted no micro-ops — the serve loop is wedged"
                     )
+            emitted += len(buf)
+            yield from buf
+
+    def cluster_op_stream(
+        self, tid: int, op: str, budget: int,
+        boundaries: list[int] | None = None,
+    ) -> Iterator[MicroOp]:
+        """Yield roughly ``budget`` micro-ops of repeated ``op`` requests.
+
+        The calibration twin of :meth:`trace`: every serve call executes
+        the same op class, so the stream prices exactly one request
+        kind.  When ``boundaries`` is given, the per-request micro-op
+        counts are appended to it — the replayed cycle total is
+        attributed back to individual requests proportionally to these
+        counts, which is where the per-op latency *distribution* (not
+        just a mean) comes from.
+        """
+        rt = self.runtime(tid)
+        emitted = 0
+        silent = 0
+        while emitted < budget:
+            self.serve_cluster_op(rt, op)
+            buf = rt.take()
+            if buf:
+                silent = 0
+            else:
+                silent += 1
+                if silent >= MAX_SILENT_SERVES:
+                    raise RunawayTraceError(
+                        f"{self.name}: {silent} consecutive {op!r} serves "
+                        f"emitted no micro-ops — the serve loop is wedged"
+                    )
+            if boundaries is not None:
+                boundaries.append(len(buf))
             emitted += len(buf)
             yield from buf
 

@@ -19,6 +19,13 @@ from repro.machine.runtime import Runtime
 
 _LINE = 64
 
+#: The synthetic degraded-window event the hinted-handoff op class
+#: replays: the same write-to-a-down-replica path
+#: :meth:`DataServingApp.fault_replica_crash` executes under a fault
+#: plan, at unit severity so calibration prices the nominal hint.
+_HINT_EVENT = FaultEvent(kind="replica-crash", at_request=0, duration=1,
+                         severity=1.0)
+
 
 class DataServingApp(ServerApp):
     """Cassandra-like data store under YCSB load."""
@@ -52,13 +59,16 @@ class DataServingApp(ServerApp):
         ("gc_remark", 72, "scatter", 6, 0.15),
     ]
 
-    #: Per-operation service costs (simulated microseconds) for the
-    #: fleet layer (:mod:`repro.cluster`): a replica's uncontended time
-    #: to execute each request class.  Ratios mirror the serve() path —
-    #: an update walks the memtable + commit log, a hinted write is the
-    #: short hint-log append from ``fault_replica_crash``, read repair
-    #: the index walk from ``fault_request_drop``, and a health probe
-    #: is a gossip round trip with no storage work.
+    #: Hand-written per-operation service costs (simulated
+    #: microseconds) for the fleet layer (:mod:`repro.cluster`) —
+    #: the ``--costs=static`` fallback only.  Measured runs derive the
+    #: same five classes from uarch replay of :meth:`cluster_ops`
+    #: instead (:mod:`repro.cluster.calibrate`).  Ratios mirror the
+    #: serve() path — an update walks the memtable + commit log, a
+    #: hinted write is the short hint-log append from
+    #: ``fault_replica_crash``, read repair the index walk from
+    #: ``fault_request_drop``, and a health probe is a gossip round
+    #: trip with no storage work.
     CLUSTER_SERVICE_COSTS = {
         "read": 420,
         "update": 660,
@@ -111,8 +121,9 @@ class DataServingApp(ServerApp):
         return ranges
 
     # -- request handling ---------------------------------------------------
-    def serve(self, rt: Runtime) -> None:
+    def serve(self, rt: Runtime, op_kind: str | None = None) -> None:
         op = self.client.next_op()
+        kind = op.kind if op_kind is None else op_kind
         self.kernel.recv(rt, 96, into_base=self._req_buf,
                          sock_id=rt.tid * 257 + self.requests_served % 64)
         with rt.frame(self.fns["thrift_decode"]):
@@ -122,7 +133,7 @@ class DataServingApp(ServerApp):
         with rt.frame(self.fns["query_exec"]):
             rt.alu(n=90, chain=False)
             self._allocate(rt, 256)  # per-request garbage
-            if op.kind == "read":
+            if kind == "read":
                 self._execute_read(rt, op.key)
             else:
                 self._execute_update(rt, op.key)
@@ -157,6 +168,43 @@ class DataServingApp(ServerApp):
         with rt.frame(self.fns["serializer"]):
             rt.store(self._resp_buf)
             rt.alu(n=4)
+
+    # -- cluster op classes (fleet cost calibration) -------------------------
+    def cluster_ops(self):
+        """The five replica request classes the fleet layer prices.
+
+        Each handler serves one request of that class on the same code
+        paths a single-node trace exercises: reads/updates are the
+        regular YCSB serve path pinned to one kind, a hint replays the
+        hinted-handoff write path, repair the read-repair digest merge,
+        and a probe the gossip failure-detector round trip.
+        """
+        return {
+            "read": lambda rt: self.serve(rt, op_kind="read"),
+            "update": lambda rt: self.serve(rt, op_kind="update"),
+            "hint": lambda rt: self.fault_replica_crash(rt, _HINT_EVENT),
+            "repair": self._cluster_read_repair,
+            "probe": self._cluster_probe,
+        }
+
+    def _cluster_read_repair(self, rt: Runtime) -> None:
+        """Digest mismatch resolution: walk the index, re-write the
+        stale replica's record (the same shape ``fault_request_drop``
+        appends to a successful retry)."""
+        with rt.frame(self._fault_fns["read_repair"]):
+            rt.alu(n=90, chain=False)
+            home = self.store.sstables[0]
+            rt.scan(home.index.base, 2 * 1024, work_per_line=1)
+        self._execute_update(rt, self.client.next_op().key)
+
+    def _cluster_probe(self, rt: Runtime) -> None:
+        """One gossip health-check round trip: receive a peer's SYN,
+        walk a slice of the endpoint-state table, answer."""
+        self.kernel.recv(rt, 64)
+        with rt.frame(self._fault_fns["gossip_failure_detector"]):
+            rt.scan(self._peer_table, 1024, work_per_line=1)
+            rt.alu(n=40, chain=False)
+        self.kernel.send(rt, 96)
 
     # -- managed-runtime behaviour -----------------------------------------
     def _allocate(self, rt: Runtime, nbytes: int) -> int:

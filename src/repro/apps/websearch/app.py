@@ -45,11 +45,14 @@ class WebSearchApp(ServerApp):
         ("partial_merge", 48, "scatter", 8, 0.2),
     ]
 
-    #: Per-operation service costs (simulated microseconds) for the
-    #: fleet layer (:mod:`repro.cluster`).  A query dominates (posting
-    #: merge + rank + snippets); "update" is the incremental index
-    #: apply an ISN replica performs when a refreshed shard segment
-    #: lands; hints/repair move segment deltas between replicas.
+    #: Hand-written per-operation service costs (simulated
+    #: microseconds) for the fleet layer (:mod:`repro.cluster`) — the
+    #: ``--costs=static`` fallback only; measured runs derive the same
+    #: classes from uarch replay of :meth:`cluster_ops`.  A query
+    #: dominates (posting merge + rank + snippets); "update" is the
+    #: incremental index apply an ISN replica performs when a refreshed
+    #: shard segment lands; hints/repair move segment deltas between
+    #: replicas.
     CLUSTER_SERVICE_COSTS = {
         "read": 1_400,
         "update": 900,
@@ -133,6 +136,60 @@ class WebSearchApp(ServerApp):
         if self.queries_served % 128 == 0:
             with rt.frame(self.fns["gc_code"]):
                 rt.scan(self._resp_buf, 8 * 1024, work_per_line=2)
+
+    # -- cluster op classes (fleet cost calibration) -------------------------
+    def cluster_ops(self):
+        """The five replica request classes the fleet layer prices.
+
+        A read is the regular query serve path; an update applies one
+        refreshed index segment; a hint receives and stages a segment
+        delta for a down sibling; repair merges a delta during
+        anti-entropy; a probe is the frontend health check.
+        """
+        return {
+            "read": self.serve,
+            "update": lambda rt: self._cluster_apply_segment(rt, 2048),
+            "hint": self._cluster_hint,
+            "repair": self._cluster_repair,
+            "probe": self._cluster_probe,
+        }
+
+    def _cluster_apply_segment(self, rt: Runtime, nbytes: int) -> None:
+        """Apply one refreshed shard-segment delta to the live index:
+        re-probe the dictionary, rewrite a posting range, commit."""
+        with rt.frame(self.fns["term_dictionary"]):
+            rt.alu(n=30, chain=False)
+        term = self.queries_served % 2048
+        with rt.frame(self.fns["postings_reader"]):
+            rt.scan(self.index.posting_addr(term, 0), nbytes,
+                    work_per_line=2, write=True)
+        self._jvm_background(rt)
+        self.kernel.log_write(rt, 512)
+        self.queries_served += 1
+
+    def _cluster_hint(self, rt: Runtime) -> None:
+        """Stage a segment delta meant for a down sibling ISN: receive
+        it, note the re-routing in the shard table, journal it."""
+        self.kernel.recv(rt, 256)
+        dict_base, dict_bytes = self.index.dict_extent[0]
+        with rt.frame(self._fault_fns["shard_failover"]):
+            rt.scan(dict_base, min(dict_bytes, 1024), work_per_line=1)
+            rt.alu(n=30, chain=False)
+        self.kernel.log_write(rt, 512)
+
+    def _cluster_repair(self, rt: Runtime) -> None:
+        """Anti-entropy: merge a buffered partial delta, then apply it."""
+        with rt.frame(self._fault_fns["partial_merge"]):
+            rt.alu(n=40, chain=False)
+            rt.scan(self._resp_buf, 1024, work_per_line=1)
+        self._cluster_apply_segment(rt, 1024)
+
+    def _cluster_probe(self, rt: Runtime) -> None:
+        """The frontend's health check: receive, account, answer."""
+        self.kernel.recv(rt, 64)
+        with rt.frame(self.fns["jvm_runtime"]):
+            rt.alu(n=30, chain=False)
+        self.kernel.send(rt, 96)
 
     # -- degraded paths (active only under an attached FaultInjector) -------
     def fault_replica_crash(self, rt: Runtime, event: FaultEvent) -> None:

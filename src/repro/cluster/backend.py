@@ -3,10 +3,15 @@
 A backend is the *state machine* side of an app instance: it holds the
 replica's durable contents (what survives a process crash, as a real
 commit log would provide) and prices each request class in simulated
-microseconds.  The costs come straight from the application classes —
-``DataServingApp.CLUSTER_SERVICE_COSTS`` / ``WebSearchApp
-.CLUSTER_SERVICE_COSTS`` — so the fleet model and the
-microarchitectural model describe the same software.
+microseconds.  Prices come from a
+:class:`~repro.cluster.costs.ServiceCostModel` — either the measured
+tables :mod:`repro.cluster.calibrate` derives from microarchitectural
+replay, or the apps' hand-written static tables as an explicitly
+labeled fallback — so the fleet model and the uarch model describe the
+same software *at the same speed*.  :meth:`ReplicaBackend.cost` turns
+each request into a deterministic draw from the model's quantile
+table, seeded via ``stable_hash`` so serial and ``--jobs N`` runs see
+identical service times.
 
 The versioned write state is what makes the fleet's headline invariant
 *checkable* rather than asserted: every quorum-acknowledged write must
@@ -16,24 +21,53 @@ has done its worst.
 
 from __future__ import annotations
 
+import random
+
+from repro.cluster.costs import (NS_PER_US, OP_CLASSES, ServiceCostModel,
+                                 unknown_op_error)
+from repro.machine.hashing import stable_hash
+
+__all__ = ["ReplicaBackend", "build_backend"]
+
 
 class ReplicaBackend:
-    """A versioned key-value replica with per-op service costs."""
+    """A versioned key-value replica pricing ops from a cost model."""
 
-    def __init__(self, costs: dict[str, int]) -> None:
-        for op in ("read", "update", "hint", "repair", "probe"):
-            if costs.get(op, 0) <= 0:
-                raise ValueError(f"backend needs a positive cost for {op!r}")
-        self._costs = dict(costs)
+    def __init__(self, model: ServiceCostModel, node_id: int = 0,
+                 seed: int = 0) -> None:
+        self.model = model
+        # The cost stream gets its own generator, distinct from the
+        # node's jitter stream: a static (degenerate-quantile) model
+        # must reproduce the historical constant costs without
+        # perturbing any other draw sequence in the simulation.
+        self._rng = random.Random(
+            stable_hash(("backend", node_id, seed, model.source)))
         #: key -> highest applied write version (durable).
         self.versions: dict[int, int] = {}
         #: intended-owner node id -> [(key, version), ...] hinted writes
         #: held for a replica that was down when the write arrived.
         self.hints: dict[int, list[tuple[int, int]]] = {}
+        #: key -> every hinted version held for it, across owners; kept
+        #: in lockstep with ``hints`` so the read-repair digest check is
+        #: one dict probe instead of a scan of every owner's hint list.
+        self._hints_by_key: dict[int, list[int]] = {}
 
     def cost(self, op: str) -> int:
-        """The uncontended service cost of one ``op``, in microseconds."""
-        return self._costs[op]
+        """The uncontended service cost of one ``op``, in microseconds.
+
+        A deterministic sample from the model's per-op quantile table
+        (a static model degenerates to the old constant).  Unknown ops
+        are a validation error naming the known classes.
+
+        The model samples in nanoseconds; the event loop runs on
+        integer microseconds, so the draw is floored to 1µs — the loop
+        tick — on the way out.  Static tables (µs times 1000) convert
+        back exactly.
+        """
+        if op not in OP_CLASSES:
+            raise unknown_op_error(op, OP_CLASSES)
+        sampled_ns = self.model.sample(op, self._rng.random())
+        return max(1, int(round(sampled_ns / NS_PER_US)))
 
     # -- replica state -----------------------------------------------------
     def apply(self, key: int, version: int) -> None:
@@ -48,31 +82,39 @@ class ReplicaBackend:
     def store_hint(self, owner: int, key: int, version: int) -> None:
         """Durably queue a write intended for the down node ``owner``."""
         self.hints.setdefault(owner, []).append((key, version))
+        self._hints_by_key.setdefault(key, []).append(version)
 
     def take_hints(self, owner: int) -> list[tuple[int, int]]:
         """Remove and return every hint held for ``owner``."""
-        return self.hints.pop(owner, [])
+        taken = self.hints.pop(owner, [])
+        for key, version in taken:
+            held = self._hints_by_key[key]
+            held.remove(version)
+            if not held:
+                del self._hints_by_key[key]
+        return taken
 
     def hinted_version_of(self, key: int) -> int:
         """The highest version held for ``key`` in this hint log."""
-        best = 0
-        for pending in self.hints.values():
-            for hint_key, version in pending:
-                if hint_key == key and version > best:
-                    best = version
-        return best
+        return max(self._hints_by_key.get(key, ()), default=0)
 
 
-def build_backend(workload: str) -> ReplicaBackend:
-    """A replica backend for one of the fleet-capable workloads."""
-    if workload == "data-serving":
-        from repro.apps.kvstore import DataServingApp
+def build_backend(workload: str, model: ServiceCostModel | None = None,
+                  node_id: int = 0, seed: int = 0) -> ReplicaBackend:
+    """A replica backend for one of the fleet-capable workloads.
 
-        return ReplicaBackend(DataServingApp.CLUSTER_SERVICE_COSTS)
-    if workload == "web-search":
-        from repro.apps.websearch import WebSearchApp
+    Without an explicit ``model`` this falls back to the workload's
+    static hand-written cost table (labeled as such in the model's
+    provenance); pass a measured model from
+    :func:`repro.cluster.calibrate.calibrate` to price requests from
+    uarch replay instead.
+    """
+    if model is None:
+        from repro.cluster.calibrate import static_model
 
-        return ReplicaBackend(WebSearchApp.CLUSTER_SERVICE_COSTS)
-    raise KeyError(
-        f"workload {workload!r} has no cluster backend; "
-        "known: data-serving, web-search")
+        model = static_model(workload)
+    elif model.workload != workload:
+        raise ValueError(
+            f"cost model was calibrated for {model.workload!r}, "
+            f"not {workload!r}")
+    return ReplicaBackend(model, node_id=node_id, seed=seed)

@@ -109,9 +109,12 @@ class Node:
 
         The node runs a bounded worker pool: the request waits for the
         earliest-free slot, then executes for its (fault- and
-        load-independent) service time.  Returns ``None`` when a
-        ``request-drop`` fault window swallows the request — the caller
-        sees silence and must time out.
+        load-independent) service time — a deterministic draw from the
+        backend's per-op cost model (a quantile table under
+        ``--costs=measured``, the historical constant under static),
+        scaled by fault inflation and node jitter.  Returns ``None``
+        when a ``request-drop`` fault window swallows the request — the
+        caller sees silence and must time out.
         """
         self._requests_seen += 1
         inflation = 1.0

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from repro.cluster.balancer import LoadBalancer
 from repro.cluster.backend import build_backend
 from repro.cluster.clock import EventLoop
+from repro.cluster.costs import ServiceCostModel
 from repro.cluster.faults import ClusterFaultPlan
 from repro.cluster.node import Node
 from repro.cluster.recorder import LatencyRecorder
@@ -73,10 +74,34 @@ class ClusterConfig:
     fault_plan: ClusterFaultPlan = field(default_factory=ClusterFaultPlan.none)
     node_plan: FaultPlan | None = None
     policy: RetryPolicy = field(default_factory=default_cluster_policy)
+    #: Where per-op service costs come from: ``"static"`` (the apps'
+    #: hand-written tables) or ``"measured"`` (a calibrated model from
+    #: :mod:`repro.cluster.calibrate`, carried in ``cost_model``).
+    costs: str = "static"
+    cost_model: ServiceCostModel | None = None
 
     def __post_init__(self) -> None:
         if self.fleet < 1:
             raise ValueError("fleet must be positive")
+        if self.costs not in ("static", "measured"):
+            raise ValueError(
+                f"costs must be 'static' or 'measured', got {self.costs!r}")
+        if self.costs == "measured":
+            if self.cost_model is None:
+                raise ValueError(
+                    "costs='measured' needs a calibrated cost_model "
+                    "(see repro.cluster.calibrate.calibrate)")
+            if self.cost_model.source != "measured":
+                raise ValueError(
+                    "costs='measured' got a model whose provenance says "
+                    f"{self.cost_model.source!r}")
+            if self.cost_model.workload != self.workload:
+                raise ValueError(
+                    f"cost_model was calibrated for "
+                    f"{self.cost_model.workload!r}, not {self.workload!r}")
+        elif self.cost_model is not None:
+            raise ValueError("costs='static' takes no cost_model; the "
+                             "backend builds the labeled fallback itself")
         if not 1 <= self.replication <= self.fleet:
             raise ValueError("replication must be in [1, fleet]")
         if self.requests < 1:
@@ -107,7 +132,10 @@ class ClusterService:
         self.loop = EventLoop()
         self.node_ids = list(range(config.fleet))
         self.nodes = {
-            node_id: Node(node_id, build_backend(config.workload),
+            node_id: Node(node_id,
+                          build_backend(config.workload,
+                                        model=config.cost_model,
+                                        node_id=node_id, seed=config.seed),
                           workers=config.workers_per_node, seed=config.seed,
                           plan=config.node_plan)
             for node_id in self.node_ids
@@ -456,6 +484,7 @@ class ClusterService:
         summary = dict(self.recorder.summary())
         summary.update({
             "workload": config.workload,
+            "costs": config.costs,
             "fleet": config.fleet,
             "replication": config.replication,
             "fault": config.fault_plan.name,

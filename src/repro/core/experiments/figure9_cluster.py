@@ -102,8 +102,16 @@ def _fault_plan(fault: str, requests: int) -> ClusterFaultPlan:
 
 def build_cells(config: RunConfig, workload: str = "data-serving",
                 fleets: list[int] | None = None,
-                replication: int = 2) -> list[ClusterCell]:
-    """The figure's cell grid: fleet size × key skew × fault plan."""
+                replication: int = 2,
+                costs: str = "static",
+                cost_model=None) -> list[ClusterCell]:
+    """The figure's cell grid: fleet size × key skew × fault plan.
+
+    Under ``costs="measured"`` every cell embeds the calibrated
+    ``cost_model`` in its configuration, so the cell fingerprint folds
+    in the model's quantiles *and* its uarch digest — changing a
+    machine parameter invalidates every cached measured-cost cell.
+    """
     build_backend(workload)  # unknown workload: fail here, not per cell
     requests = cluster_requests(config)
     cells = []
@@ -119,11 +127,35 @@ def build_cells(config: RunConfig, workload: str = "data-serving",
                     theta=theta,
                     seed=config.seed,
                     fault_plan=_fault_plan(fault, requests),
+                    costs=costs,
+                    cost_model=cost_model,
                 )
                 cells.append(ClusterCell(
                     name=f"{workload}-f{fleet}-{skew}-{fault}",
                     config=cluster))
     return cells
+
+
+def calibrate_for(config: RunConfig, workload: str, engine=None):
+    """The measured cost model for one figure run's configuration.
+
+    Calibrated once, in the coordinating process, then embedded in
+    every cell's configuration — workers never recalibrate, which is
+    what keeps serial, ``--jobs N``, and ``--resume`` runs
+    byte-identical.
+    """
+    from repro.cluster.calibrate import CalibrationConfig, calibrate
+
+    use_store = engine.use_cache if engine is not None else True
+    return calibrate(
+        CalibrationConfig(
+            workload=workload,
+            params=config.params,
+            window_uops=config.window_uops,
+            warm_uops=config.warm_uops,
+            seed=config.seed,
+        ),
+        use_store=use_store)
 
 
 def _cluster_engine(engine) -> ClusterSweepEngine:
@@ -147,11 +179,22 @@ def _cluster_engine(engine) -> ClusterSweepEngine:
 def run(config: RunConfig | None = None, engine=None,
         workload: str = "data-serving",
         fleets: list[int] | None = None,
-        replication: int = 2) -> ExperimentTable:
-    """Build the fleet tail-latency table."""
+        replication: int = 2,
+        costs: str = "static") -> ExperimentTable:
+    """Build the fleet tail-latency table.
+
+    ``costs="measured"`` calibrates a service-cost model from uarch
+    replay first (capture → columnar replay → quantile tables) and
+    prices every request from it; the default keeps the hand-written
+    static tables, explicitly labeled as such in the notes.
+    """
     config = config or RunConfig()
+    cost_model = None
+    if costs == "measured":
+        cost_model = calibrate_for(config, workload, engine=engine)
     cells = build_cells(config, workload=workload, fleets=fleets,
-                        replication=replication)
+                        replication=replication, costs=costs,
+                        cost_model=cost_model)
     results = _cluster_engine(engine).run(cells)
     table = ExperimentTable(
         title=("Figure 9. Fleet tail latency and resilience counters "
@@ -189,4 +232,53 @@ def run(config: RunConfig | None = None, engine=None,
     table.notes.append(
         "Lost = quorum-acknowledged writes no replica or hint log can "
         "produce after the fault plan ran; nonzero fails validation.")
+    if cost_model is not None:
+        table.notes.append(
+            "Service costs: measured — per-op latency quantiles from "
+            f"uarch replay at {cost_model.blade_mhz:.0f} MHz "
+            f"(uarch {cost_model.uarch[:12]}).")
+    else:
+        table.notes.append(
+            "Service costs: static — hand-written per-op tables "
+            "(rerun with --costs=measured for uarch-derived costs).")
+    return table
+
+
+def delta_table(config: RunConfig | None = None, engine=None,
+                workload: str = "data-serving",
+                fleets: list[int] | None = None,
+                replication: int = 2) -> ExperimentTable:
+    """Static-vs-measured service costs, cell by cell.
+
+    The headline comparison the calibration layer exists for: the same
+    fleet grid priced from the hand-written tables and from uarch
+    replay, with the tail-latency shift each cell sees.
+    """
+    config = config or RunConfig()
+    static = run(config, engine=engine, workload=workload, fleets=fleets,
+                 replication=replication, costs="static")
+    measured = run(config, engine=engine, workload=workload, fleets=fleets,
+                   replication=replication, costs="measured")
+    table = ExperimentTable(
+        title=("Figure 9 (delta). Fleet tail latency, static vs "
+               "measured service costs (uarch-replay calibration)."),
+        columns=["Cell", "p50 static", "p50 measured", "p99 static",
+                 "p99 measured", "p999 static", "p999 measured",
+                 "p99 shift"],
+    )
+    for s_row, m_row in zip(static.rows, measured.rows):
+        p99_s, p99_m = int(s_row["p99 (us)"]), int(m_row["p99 (us)"])
+        shift = (p99_m - p99_s) / p99_s if p99_s else 0.0
+        table.add_row(**{
+            "Cell": s_row["Cell"],
+            "p50 static": int(s_row["p50 (us)"]),
+            "p50 measured": int(m_row["p50 (us)"]),
+            "p99 static": p99_s,
+            "p99 measured": p99_m,
+            "p999 static": int(s_row["p999 (us)"]),
+            "p999 measured": int(m_row["p999 (us)"]),
+            "p99 shift": shift,
+        })
+    table.notes.extend(static.notes[-1:])
+    table.notes.extend(measured.notes[-1:])
     return table

@@ -37,8 +37,9 @@ import os
 import pathlib
 
 from repro.core.runner import RunConfig, WorkloadRun
-from repro.core.validate import (check_cluster_summary, check_result,
-                                 validate_cluster_summaries, validate_runs)
+from repro.core.validate import (check_cluster_summary, check_cost_model,
+                                 check_result, validate_cluster_summaries,
+                                 validate_cost_model, validate_runs)
 from repro.faults.manifest import atomic_write_json
 from repro.faults.plan import FaultEvent, FaultPlan
 from repro.uarch.core import CoreResult
@@ -152,6 +153,12 @@ class ResultStore:
             return None, (f"fingerprint field {raw.get('fingerprint')!r} "
                           "does not match the filename (renamed or copied "
                           "document)")
+        if "calibration" in raw:
+            model = raw["calibration"]
+            violations = check_cost_model(model)
+            if violations:
+                return None, "; ".join(violations)
+            return {"calibration": model}, None
         if "cluster" in raw:
             summaries = raw["cluster"]
             if not isinstance(summaries, list):
@@ -207,6 +214,32 @@ class ResultStore:
         if payload is None:
             return None
         return payload.get("cluster")
+
+    def get_calibration(self, fingerprint: str) -> dict | None:
+        """The stored service-cost-model document, or None.
+
+        Defective documents quarantine exactly as in :meth:`get`.
+        """
+        payload, defect = self._decode(self.path_for(fingerprint), fingerprint)
+        if defect is not None:
+            self.quarantine(fingerprint, defect)
+            return None
+        if payload is None:
+            return None
+        return payload.get("calibration")
+
+    def put_calibration(self, fingerprint: str, model: dict,
+                        validate: bool = True) -> None:
+        """Persist one service-cost-model document under ``fingerprint``."""
+        if validate:
+            validate_cost_model(
+                model, context=f"store put {fingerprint[:12]}")
+        document = {
+            "schema": SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "calibration": model,
+        }
+        atomic_write_json(self.path_for(fingerprint), document)
 
     def put_cluster(self, fingerprint: str, summaries: list[dict],
                     validate: bool = True) -> None:

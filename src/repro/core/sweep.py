@@ -48,6 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 
 __all__ = [
     "FINGERPRINT_SCHEMA",
+    "COST_MODEL_SCHEMA",
     "canonical",
     "config_fingerprint",
     "Cell",
@@ -57,6 +58,15 @@ __all__ = [
 #: Bump when the *meaning* of a configuration field changes (not when
 #: fields are added — those change the fingerprint structurally).
 FINGERPRINT_SCHEMA = 1
+
+#: Version of the service-cost-model semantics (how per-op quantile
+#: tables are derived from uarch replay and how backends sample them).
+#: Folded into every fingerprint: a change to the calibration algorithm
+#: must invalidate cached fleet cells even when the configuration
+#: dataclasses are structurally unchanged.  Lives here (not in
+#: ``repro.cluster``) because the fingerprint side must stay importable
+#: without touching the fleet package.
+COST_MODEL_SCHEMA = 1
 
 
 def canonical(value: object) -> object:
@@ -111,6 +121,11 @@ def config_fingerprint(kind: str, name: str, config: "RunConfig") -> str:
             "engine": REPLAY_ENGINE_SCHEMA,
             "path": replay_path_for(kind, config),
         },
+        # Fleet cells embed a ServiceCostModel in their configuration;
+        # the model's *derivation* (capture -> replay -> quantile table
+        # -> sampled draw) is provenance of its own, so its schema is
+        # folded into every fingerprint alongside the trace codec's.
+        "cost_model": COST_MODEL_SCHEMA,
         "kind": kind,
         "name": name,
         "config": canonical(config),

@@ -46,6 +46,8 @@ __all__ = [
     "validate_runs",
     "check_cluster_summary",
     "validate_cluster_summaries",
+    "check_cost_model",
+    "validate_cost_model",
 ]
 
 #: ``(os_counter, total_counter)`` pairs: OS activity is a subset.
@@ -231,3 +233,87 @@ def validate_cluster_summaries(summaries: Sequence[dict],
         violations = check_cluster_summary(summary)
         if violations:
             raise ValidationError(f"{context}: summary {index}", violations)
+
+
+def check_cost_model(doc: dict) -> list[str]:
+    """Every violated invariant in one service-cost-model document.
+
+    The calibration analogue of :func:`check_cluster_summary`: a cost
+    model entering or leaving persistence must cover exactly the known
+    op classes, carry positive quantile-monotone latency tables, and —
+    for measured models — stay within the physical bound its own
+    provenance implies (no per-request quantile can exceed the whole
+    replayed window's wall-clock at the stated blade frequency).
+    """
+    # Imported here: the cluster package imports this module's
+    # ValidationError at call time, so a top-level import would cycle.
+    from repro.cluster.costs import OP_CLASSES, QUANTILE_POINTS
+
+    violations: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"cost model is not an object: {doc!r}"]
+    source = doc.get("source")
+    if source not in ("static", "measured"):
+        violations.append(
+            f"source must be 'static' or 'measured': {source!r}")
+    ops = doc.get("ops")
+    if not isinstance(ops, dict):
+        return violations + [f"ops is not an object: {ops!r}"]
+    if tuple(sorted(ops)) != tuple(sorted(OP_CLASSES)):
+        violations.append(
+            f"ops must cover exactly {', '.join(OP_CLASSES)}; "
+            f"got {', '.join(sorted(ops))}")
+        return violations
+    blade_mhz = doc.get("blade_mhz")
+    if source == "measured":
+        if not isinstance(blade_mhz, (int, float)) \
+                or isinstance(blade_mhz, bool) or not blade_mhz > 0:
+            violations.append(
+                f"measured model needs a positive blade_mhz: {blade_mhz!r}")
+        if not doc.get("uarch"):
+            violations.append("measured model needs its uarch digest")
+    provenance = doc.get("provenance") or {}
+    for op in OP_CLASSES:
+        table = ops[op]
+        if not isinstance(table, dict):
+            violations.append(f"{op}: table is not an object: {table!r}")
+            continue
+        values = []
+        for name, _rank in QUANTILE_POINTS:
+            value = table.get(name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                violations.append(f"{op}.{name} is not an integer: {value!r}")
+            elif value <= 0:
+                violations.append(f"{op}.{name} must be positive ({value})")
+            else:
+                values.append(value)
+        if len(values) != len(QUANTILE_POINTS):
+            continue
+        if values != sorted(values):
+            violations.append(
+                f"{op}: quantiles out of order "
+                + ", ".join(f"{name} {table[name]}"
+                            for name, _rank in QUANTILE_POINTS))
+            continue
+        measured_op = provenance.get(op)
+        if source == "measured" and isinstance(measured_op, dict) \
+                and isinstance(blade_mhz, (int, float)) and blade_mhz > 0:
+            cycles = measured_op.get("cycles")
+            if isinstance(cycles, int) and not isinstance(cycles, bool) \
+                    and cycles > 0:
+                # Tables are ns: cycles / MHz = µs, ×1000 = ns, +1 slack
+                # for the rounding the quantile reduction applies.
+                bound = int(-(-(cycles * 1000) // blade_mhz)) + 1
+                if values[-1] > bound:
+                    violations.append(
+                        f"{op}.p95 ({values[-1]} ns) exceeds the replayed "
+                        f"window's wall-clock bound ({bound} ns from "
+                        f"{cycles} cycles at {blade_mhz} MHz)")
+    return violations
+
+
+def validate_cost_model(doc: dict, context: str = "cost model") -> None:
+    """Raise :class:`ValidationError` if a cost model is implausible."""
+    violations = check_cost_model(doc)
+    if violations:
+        raise ValidationError(context, violations)

@@ -41,7 +41,7 @@ LAYERS: dict[str, frozenset[str]] = {
     "apps": frozenset({"apps", "faults", "load", "machine", "uarch",
                        "trace"}),
     "cluster": frozenset({"cluster", "apps", "core", "faults", "load",
-                          "machine"}),
+                          "machine", "trace", "uarch"}),
     "core": frozenset({"core", "apps", "cluster", "faults", "load",
                        "machine", "trace", "uarch"}),
     "faults": frozenset({"faults"}),

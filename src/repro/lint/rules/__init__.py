@@ -59,6 +59,7 @@ from repro.lint.rules.hotpath import (  # noqa: E402
 )
 from repro.lint.rules.layering import (  # noqa: E402
     ClusterClockRule,
+    ServiceCostTableRule,
     TraceLayerRule,
 )
 from repro.lint.rules.robustness import (  # noqa: E402
@@ -81,6 +82,7 @@ ALL_RULES: List[Type[Rule]] = [
     StableHashArgsRule,
     TraceLayerRule,
     ClusterClockRule,
+    ServiceCostTableRule,
     MicroOpConstructionRule,
     BlindExceptRule,
     MutableDefaultRule,

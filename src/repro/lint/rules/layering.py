@@ -17,7 +17,7 @@ from repro.lint.findings import Finding
 from repro.lint.rules import Rule
 
 #: Methods whose call sites constitute direct trace consumption.
-_TRACE_METHODS = frozenset({"trace", "trace_segments"})
+_TRACE_METHODS = frozenset({"trace", "trace_segments", "cluster_op_stream"})
 
 #: Files (relative to the lint root) and directories allowed to touch
 #: raw traces: the trace package itself, and the runner facade.
@@ -95,6 +95,54 @@ class ClusterClockRule(Rule):
                         "the cluster layer pulls the host clock into a "
                         "simulated-time package; schedule on the "
                         "EventLoop and read loop.now instead")
+
+
+#: Files (relative to the lint root) allowed to reference the static
+#: service-cost tables: the two app classes that define them, and the
+#: calibration module's explicitly-labeled fallback path.
+_COST_ALLOWED = ("apps/kvstore/app.py", "apps/websearch/app.py",
+                 "cluster/calibrate.py")
+
+
+class ServiceCostTableRule(Rule):
+    """Static service-cost tables referenced outside their owners.
+
+    ``CLUSTER_SERVICE_COSTS`` is the hand-written fallback the measured
+    calibration path replaced; any new reference outside the defining
+    app classes and ``cluster/calibrate.py``'s ``static_model`` would
+    smuggle literal costs back into the fleet model behind the
+    ``--costs`` switch.  Price requests from a ``ServiceCostModel``
+    (measured, or ``static_model()`` for the labeled fallback) instead.
+    """
+
+    name = "service-costs"
+    severity = "error"
+    description = ("CLUSTER_SERVICE_COSTS belongs to the app classes "
+                   "and calibrate.py's fallback; everything else prices "
+                   "ops through a ServiceCostModel")
+
+    def _allowed(self, path: str) -> bool:
+        return path.endswith(_COST_ALLOWED)
+
+    def check_file(self, ctx) -> Iterable[Finding]:
+        if self._allowed(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Name) \
+                    and node.id == "CLUSTER_SERVICE_COSTS":
+                referenced = node
+            elif isinstance(node, ast.Attribute) \
+                    and node.attr == "CLUSTER_SERVICE_COSTS":
+                referenced = node
+            else:
+                continue
+            yield self.finding(
+                ctx, referenced,
+                "CLUSTER_SERVICE_COSTS referenced outside the app "
+                "classes and cluster/calibrate.py; static tables are "
+                "the labeled --costs=static fallback only — price ops "
+                "through a ServiceCostModel "
+                "(repro.cluster.calibrate.calibrate or static_model)")
 
 
 class TraceLayerRule(Rule):

@@ -60,6 +60,12 @@ class TraceKey:
     warm_uops: int = 40_000
     threads: int = 1
     fault_plan: FaultPlan | None = None
+    #: When set, the streams drain one fleet op class (``read``/
+    #: ``update``/...) through the app's
+    #: :meth:`~repro.apps.base.ServerApp.cluster_op_stream` instead of
+    #: the mixed serve loop — the capture side of cluster cost
+    #: calibration (:mod:`repro.cluster.calibrate`).
+    op_class: str | None = None
 
     @classmethod
     def from_config(cls, name: str, config,
@@ -75,7 +81,10 @@ class TraceKey:
         )
 
     def label(self) -> str:
-        """Human-readable run label (``group:member`` for group runs)."""
+        """Human-readable run label (``group:member`` for group runs,
+        ``workload@op`` for calibration captures)."""
+        if self.op_class is not None:
+            return f"{self.workload}@{self.op_class}"
         if self.member is None:
             return self.workload
         return f"{self.workload}:{self.member}"
@@ -167,6 +176,8 @@ def capture(key: TraceKey) -> tuple[CapturedTrace, "ServerApp"]:
     then each measurement stream, all from one app instance whose RNG
     and dataset state evolve across the drain.
     """
+    if key.op_class is not None:
+        return _capture_op_class(key)
     app = build_app_for(key)
     fill_ranges = fill_ranges_for(app)
     warm = encode_stream(app.trace(0, key.warm_uops))
@@ -193,6 +204,52 @@ def capture(key: TraceKey) -> tuple[CapturedTrace, "ServerApp"]:
             "threads": key.threads,
             "fault_events": (len(key.fault_plan.events)
                              if key.fault_plan is not None else 0),
+        },
+    )
+    return captured, app
+
+
+def _capture_op_class(key: TraceKey) -> tuple[CapturedTrace, "ServerApp"]:
+    """Capture one fleet op class for cost calibration.
+
+    Single-stream by construction (one thread, no fault plan — degraded
+    paths are op classes of their own here) so the columnar fastpath
+    replays it.  Request boundaries are recorded into the trace's meta
+    (``request_uops``) for proportional cycle attribution.
+    """
+    if key.fault_plan is not None:
+        raise ValueError("op-class capture takes no fault plan; degraded "
+                         "modes are separate op classes")
+    if key.threads != 1:
+        raise ValueError("op-class capture is single-threaded")
+    app = build_app_for(key)
+    # Degraded-path code must be registered before the layout snapshot
+    # so all five op-class traces of one workload see one address space.
+    app.prepare_cluster_ops()
+    fill_ranges = fill_ranges_for(app)
+    warm = encode_stream(app.cluster_op_stream(0, key.op_class,
+                                               key.warm_uops))
+    label = key.label()
+    boundaries: list[int] = []
+    stream = encode_stream(guard_trace(
+        app.cluster_op_stream(0, key.op_class, key.window_uops, boundaries),
+        trace_budget(key.window_uops), label))
+    captured = CapturedTrace(
+        fingerprint=key.fingerprint(),
+        label=label,
+        fill_ranges=fill_ranges,
+        warm=warm,
+        streams=(stream,),
+        meta={
+            "workload": key.workload,
+            "member": key.member,
+            "seed": key.seed,
+            "window_uops": key.window_uops,
+            "warm_uops": key.warm_uops,
+            "threads": key.threads,
+            "fault_events": 0,
+            "op_class": key.op_class,
+            "request_uops": boundaries,
         },
     )
     return captured, app

@@ -1,0 +1,124 @@
+"""Replica backends: cost draws and the keyed hint index.
+
+Two regressions guard this PR's refactors: the static cost path must
+still produce the exact historical constants (the fleet figures'
+cached cells depend on it), and the ``hinted_version_of`` index — now
+a dict probe instead of a scan over every owner's hint list — must be
+semantically identical to the old linear scan under arbitrary
+interleavings of ``store_hint``/``take_hints``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster.backend import ReplicaBackend, build_backend
+from repro.cluster.calibrate import static_model
+from repro.cluster.costs import OP_CLASSES, OpCost, ServiceCostModel
+from repro.core.validate import ValidationError
+
+#: The hand-written µs tables, as shipped before the calibration layer.
+_HISTORICAL = {
+    "data-serving": {"read": 420, "update": 660, "hint": 150,
+                     "repair": 260, "probe": 40},
+    "web-search": {"read": 1400, "update": 900, "hint": 200,
+                   "repair": 350, "probe": 40},
+}
+
+
+class TestCost:
+    @pytest.mark.parametrize("workload", sorted(_HISTORICAL))
+    def test_static_costs_are_the_historical_constants(self, workload):
+        backend = build_backend(workload, node_id=3, seed=11)
+        for op, expected in _HISTORICAL[workload].items():
+            assert backend.cost(op) == expected
+            assert backend.cost(op) == expected  # every draw, not just one
+
+    def test_unknown_op_is_a_validation_error_naming_the_set(self):
+        backend = build_backend("data-serving")
+        with pytest.raises(ValidationError,
+                           match="known: read, update, hint, repair, probe"):
+            backend.cost("compact")
+
+    def test_ns_samples_floor_to_one_event_loop_tick(self):
+        ops = tuple((op, OpCost.flat(200)) for op in OP_CLASSES)  # 200ns
+        model = ServiceCostModel(workload="data-serving",
+                                 source="measured", ops=ops,
+                                 uarch="a" * 64, blade_mhz=2930.0)
+        backend = ReplicaBackend(model)
+        assert backend.cost("read") == 1
+
+    def test_sub_us_quantiles_round_to_microseconds(self):
+        ops = tuple((op, OpCost.flat(2600)) for op in OP_CLASSES)
+        model = ServiceCostModel(workload="data-serving",
+                                 source="measured", ops=ops,
+                                 uarch="a" * 64, blade_mhz=2930.0)
+        assert ReplicaBackend(model).cost("update") == 3
+
+    def test_draws_are_deterministic_per_node_identity(self):
+        model = static_model("data-serving")
+        a = [ReplicaBackend(model, node_id=2, seed=9).cost("read")
+             for _ in range(3)]
+        b = [ReplicaBackend(model, node_id=2, seed=9).cost("read")
+             for _ in range(3)]
+        assert a == b
+
+    def test_workload_mismatch_is_rejected(self):
+        with pytest.raises(ValueError, match="calibrated for"):
+            build_backend("web-search", model=static_model("data-serving"))
+
+    def test_unknown_workload_names_the_fleet(self):
+        with pytest.raises(KeyError, match="no cluster backend"):
+            build_backend("graph-analytics")
+
+
+def _reference_hinted_version(backend: ReplicaBackend, key: int) -> int:
+    """The pre-index semantics: scan every owner's hint list."""
+    best = 0
+    for held in backend.hints.values():
+        for hint_key, version in held:
+            if hint_key == key and version > best:
+                best = version
+    return best
+
+
+class TestHintIndex:
+    def test_store_take_round_trip(self):
+        backend = build_backend("data-serving")
+        backend.store_hint(owner=4, key=17, version=2)
+        backend.store_hint(owner=4, key=17, version=5)
+        backend.store_hint(owner=6, key=17, version=3)
+        assert backend.hinted_version_of(17) == 5
+        assert backend.take_hints(4) == [(17, 2), (17, 5)]
+        assert backend.hinted_version_of(17) == 3
+        assert backend.take_hints(6) == [(17, 3)]
+        assert backend.hinted_version_of(17) == 0
+        assert backend._hints_by_key == {}
+
+    def test_duplicate_versions_are_multiset_counted(self):
+        backend = build_backend("data-serving")
+        backend.store_hint(owner=1, key=8, version=4)
+        backend.store_hint(owner=2, key=8, version=4)
+        backend.take_hints(1)
+        assert backend.hinted_version_of(8) == 4  # owner 2 still holds it
+        backend.take_hints(2)
+        assert backend.hinted_version_of(8) == 0
+
+    def test_index_matches_linear_scan_under_random_interleaving(self):
+        backend = build_backend("data-serving")
+        rng = random.Random(1234)
+        keys = list(range(12))
+        owners = list(range(5))
+        for _ in range(600):
+            action = rng.random()
+            if action < 0.7:
+                backend.store_hint(owner=rng.choice(owners),
+                                   key=rng.choice(keys),
+                                   version=rng.randrange(1, 50))
+            else:
+                backend.take_hints(rng.choice(owners))
+            for key in keys:
+                assert backend.hinted_version_of(key) == \
+                    _reference_hinted_version(backend, key)

@@ -1,0 +1,129 @@
+"""Calibration: capture → replay → quantile tables, deterministically.
+
+The measured cost model is only usable by the fleet sweep if it is a
+pure function of its :class:`CalibrationConfig` — byte-identical in
+any process, cacheable under a structural fingerprint, and invalidated
+(never aliased) when a machine parameter changes.  These tests pin
+each of those properties, including the acceptance criterion that a
+uarch parameter change invalidates cached measured-cost cluster cells.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cluster.calibrate import (CalibrationConfig, FLEET_WORKLOADS,
+                                     calibrate, calibration_fingerprint,
+                                     static_model, uarch_digest)
+from repro.cluster.costs import OP_CLASSES
+from repro.core.runner import RunConfig
+from repro.core.store import ResultStore
+from repro.core.validate import check_cost_model
+
+TINY = RunConfig(window_uops=6_000, warm_uops=1_000, seed=7)
+
+
+def _config(workload: str = "data-serving", **overrides):
+    defaults = dict(workload=workload, params=TINY.params,
+                    window_uops=TINY.window_uops, warm_uops=TINY.warm_uops,
+                    seed=TINY.seed)
+    defaults.update(overrides)
+    return CalibrationConfig(**defaults)
+
+
+class TestCalibrate:
+    def test_unknown_workload_names_the_fleet(self):
+        with pytest.raises(KeyError, match="no cluster backend"):
+            calibrate(_config("graph-analytics"), use_store=False)
+
+    @pytest.mark.parametrize("workload", FLEET_WORKLOADS)
+    def test_covers_every_op_class(self, workload):
+        model = calibrate(_config(workload), use_store=False)
+        assert tuple(name for name, _cost in model.ops) == OP_CLASSES
+        assert model.source == "measured"
+        assert model.blade_mhz == pytest.approx(TINY.params.freq_hz / 1e6)
+        assert model.uarch == uarch_digest(TINY.params)
+
+    def test_calibration_is_deterministic_in_process(self):
+        first = calibrate(_config(), use_store=False)
+        second = calibrate(_config(), use_store=False)
+        assert first == second
+        assert json.dumps(first.to_doc(), sort_keys=True) \
+            == json.dumps(second.to_doc(), sort_keys=True)
+
+    def test_measured_differs_from_static(self):
+        measured = calibrate(_config(), use_store=False)
+        static = static_model("data-serving")
+        assert measured.cost_table() != static.cost_table()
+
+    def test_store_round_trip_is_byte_identical(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fingerprint = calibration_fingerprint(_config())
+        assert store.get_calibration(fingerprint) is None
+        first = calibrate(_config(), store=store)
+        cached = store.get_calibration(fingerprint)
+        assert cached is not None
+        assert check_cost_model(cached) == []
+        second = calibrate(_config(), store=store)
+        assert first == second
+
+    def test_cached_models_are_served_without_replay(self, tmp_path,
+                                                     monkeypatch):
+        store = ResultStore(tmp_path)
+        first = calibrate(_config(), store=store)
+
+        def bomb(*args, **kwargs):
+            raise AssertionError("cache miss: calibration re-captured")
+
+        import repro.trace.pipeline as pipeline
+        monkeypatch.setattr(pipeline, "materialize", bomb)
+        again = calibrate(_config(), store=store)
+        assert again == first
+
+    def test_blade_frequency_scales_the_tables(self):
+        base = calibrate(_config(), use_store=False)
+        halved = calibrate(
+            _config(blade_freq_hz=TINY.params.freq_hz / 2),
+            use_store=False)
+        assert halved.blade_mhz == pytest.approx(base.blade_mhz / 2)
+        for (op, slow), (_, fast) in zip(halved.ops, base.ops):
+            assert slow.p50 == pytest.approx(2 * fast.p50, abs=2), op
+
+    def test_fingerprint_changes_with_any_uarch_parameter(self):
+        base = _config()
+        shrunk = _config(params=dataclasses.replace(
+            TINY.params, rob_entries=TINY.params.rob_entries // 2))
+        assert uarch_digest(base.params) != uarch_digest(shrunk.params)
+        assert calibration_fingerprint(base) \
+            != calibration_fingerprint(shrunk)
+
+    def test_cross_process_byte_identity(self, tmp_path):
+        """Two fresh interpreters, two fresh caches, one model."""
+        script = (
+            "import json\n"
+            "from repro.cluster.calibrate import CalibrationConfig, "
+            "calibrate\n"
+            "from repro.core.runner import RunConfig\n"
+            "cfg = RunConfig(window_uops=6000, warm_uops=1000, seed=7)\n"
+            "model = calibrate(CalibrationConfig(workload='data-serving',"
+            " params=cfg.params, window_uops=6000, warm_uops=1000,"
+            " seed=7))\n"
+            "print(json.dumps(model.to_doc(), sort_keys=True))\n"
+        )
+        outputs = []
+        for run in ("one", "two"):
+            env = dict(os.environ)
+            env["REPRO_CACHE_DIR"] = str(tmp_path / run)
+            env["PYTHONPATH"] = "src"
+            proc = subprocess.run(
+                [sys.executable, "-c", script], cwd="/root/repo",
+                env=env, capture_output=True, text=True, timeout=600)
+            assert proc.returncode == 0, proc.stderr
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]

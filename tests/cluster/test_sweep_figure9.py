@@ -183,6 +183,120 @@ class TestClusterEngine:
             ClusterSweepEngine(jobs=0)
 
 
+# -- measured service costs ------------------------------------------------
+class TestMeasuredCosts:
+    """The figure grid priced from uarch replay instead of literals."""
+
+    def _model(self, params=None):
+        from dataclasses import replace
+
+        config = TINY if params is None else replace(TINY, params=params)
+        return figure9_cluster.calibrate_for(config, "data-serving")
+
+    def test_measured_serial_and_parallel_are_byte_identical(self):
+        model = self._model()
+        serial = figure9_cluster.run(TINY, fleets=[2], costs="measured",
+                                     engine=ClusterSweepEngine(jobs=1))
+        parallel = figure9_cluster.run(TINY, fleets=[2], costs="measured",
+                                       engine=ClusterSweepEngine(jobs=2))
+        assert serial.to_text() == parallel.to_text()
+        assert model.source == "measured"
+
+    def test_measured_resume_is_byte_identical_after_a_dead_worker(
+            self, tmp_path):
+        """An interrupted measured-cost sweep resumes to the same bytes.
+
+        The worker dies mid-grid (the checkpoint journal holding the
+        cells that finished, as after a SIGKILL); the resumed run must
+        recompute only the missing cell and render identically to an
+        uninterrupted run.
+        """
+        from repro.cluster.sweep import _cluster_cell_worker
+
+        model = self._model()
+        cells = figure9_cluster.build_cells(
+            TINY, fleets=[2], costs="measured", cost_model=model)[:3]
+        poison = cells[1].name
+
+        def flaky(task):
+            cell, _ = task
+            if cell.name == poison:
+                raise RuntimeError("injected crash")
+            return _cluster_cell_worker(task)
+
+        engine = ClusterSweepEngine(
+            checkpoint_dir=tmp_path, worker=flaky,
+            retry=RetryPolicy.for_harness(retries=0))
+        with pytest.raises(SweepCellError, match="injected crash"):
+            engine.run(cells)
+        resumed = ClusterSweepEngine(
+            checkpoint_dir=tmp_path, resume=True,
+            retry=RetryPolicy.for_harness(retries=0)).run(cells)
+        assert resumed == ClusterSweepEngine().run(cells)
+
+    def test_measured_differs_from_static_in_the_rendered_table(self):
+        static = figure9_cluster.run(TINY, fleets=[2], costs="static")
+        measured = figure9_cluster.run(TINY, fleets=[2], costs="measured")
+        assert static.to_text() != measured.to_text()
+        assert "Service costs: static" in static.notes[-1]
+        assert "Service costs: measured" in measured.notes[-1]
+
+    def test_uarch_parameter_change_invalidates_cached_cells(
+            self, tmp_path):
+        """The acceptance criterion: a measured-cost cell's cache entry
+        dies with the machine configuration that priced it."""
+        from dataclasses import replace
+
+        model_a = self._model()
+        model_b = self._model(params=replace(
+            TINY.params, rob_entries=TINY.params.rob_entries // 2))
+        assert model_a.uarch != model_b.uarch
+
+        cells_a = figure9_cluster.build_cells(
+            TINY, fleets=[2], costs="measured", cost_model=model_a)[:2]
+        cells_b = figure9_cluster.build_cells(
+            TINY, fleets=[2], costs="measured", cost_model=model_b)[:2]
+        for cell_a, cell_b in zip(cells_a, cells_b):
+            assert cell_a.fingerprint() != cell_b.fingerprint()
+
+        store = ResultStore(tmp_path)
+        primed = ClusterSweepEngine(store=store).run(cells_a)
+
+        def bomb(task):
+            raise AssertionError("cache miss: cell was re-executed")
+
+        served = ClusterSweepEngine(
+            store=store, worker=bomb,
+            retry=RetryPolicy.for_harness(retries=0)).run(cells_a)
+        assert served == primed  # same params: cache hit, bomb unexercised
+        with pytest.raises(SweepCellError):
+            ClusterSweepEngine(store=store, worker=bomb,
+                               retry=RetryPolicy.for_harness(retries=0)
+                               ).run(cells_b)
+
+    def test_static_cells_reject_an_attached_model(self):
+        with pytest.raises(ValueError, match="takes no cost_model"):
+            ClusterConfig(fleet=2, requests=200, costs="static",
+                          cost_model=self._model())
+
+    def test_measured_cells_require_a_model(self):
+        with pytest.raises(ValueError, match="measured"):
+            ClusterConfig(fleet=2, requests=200, costs="measured")
+
+    def test_delta_table_compares_cell_by_cell(self):
+        table = figure9_cluster.delta_table(TINY, fleets=[2])
+        assert len(table.rows) == (len(figure9_cluster.SKEWS)
+                                   * len(figure9_cluster.FAULTS))
+        for row in table.rows:
+            assert int(row["p50 static"]) > 0
+            assert int(row["p50 measured"]) > 0
+            expected = (int(row["p99 measured"]) - int(row["p99 static"])
+                        ) / int(row["p99 static"])
+            assert float(row["p99 shift"]) == pytest.approx(expected)
+        assert any("static" in note for note in table.notes)
+        assert any("measured" in note for note in table.notes)
+
+
 # -- the rendered figure ---------------------------------------------------
 class TestFigureNine:
     def test_table_shape_and_invariants(self):

@@ -163,6 +163,43 @@ def test_cluster_time_from_import_is_flagged(fixture_tree):
     assert "sleep" in flagged[0].message
 
 
+def test_service_cost_attribute_outside_owners_is_flagged(fixture_tree):
+    # Static tables belong to the app classes and calibrate.py's
+    # fallback; a backend pricing straight off the literals would dodge
+    # the measured-calibration path behind the --costs switch.
+    mutate(fixture_tree, "cluster/backend.py", """
+        def price(app, op):
+            return app.CLUSTER_SERVICE_COSTS[op]
+        """)
+    findings = run_lint(fixture_tree)
+    assert {f.rule for f in findings} == {"service-costs"}
+    assert "ServiceCostModel" in findings[0].message
+
+
+def test_service_cost_name_reference_is_flagged(fixture_tree):
+    mutate(fixture_tree, "core/pricing.py", """
+        CLUSTER_SERVICE_COSTS = {"read": 1}
+
+        def cost(op):
+            return CLUSTER_SERVICE_COSTS[op]
+        """)
+    findings = run_lint(fixture_tree)
+    assert {f.rule for f in findings} == {"service-costs"}
+    assert len(findings) == 2  # the definition and the load
+
+
+def test_service_costs_allowed_in_owning_files(fixture_tree):
+    (fixture_tree / "apps/kvstore").mkdir(parents=True)
+    mutate(fixture_tree, "apps/kvstore/app.py", """
+        CLUSTER_SERVICE_COSTS = {"read": 420}
+        """)
+    mutate(fixture_tree, "cluster/calibrate.py", """
+        def static_model(app):
+            return dict(app.CLUSTER_SERVICE_COSTS)
+        """)
+    assert run_lint(fixture_tree) == []
+
+
 def test_wallclock_outside_cluster_keeps_harness_exemption(fixture_tree):
     # Same calls in a non-cluster path: the global wallclock rule's
     # harness exemption applies, and cluster-clock stays out of scope.
